@@ -1,0 +1,52 @@
+// Ablation: adaptive (d, w) control (Eqs. 8-9) vs fixed configurations.
+//
+// The adaptive policy should match or beat every fixed (d, w) point across
+// load levels, because no single fixed configuration is right at both ends.
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void Run() {
+  std::cout << "Ablation: adaptive speculation control vs fixed (d, w)\n";
+  const Setup setup = LlamaSetup();
+  Experiment exp(setup);
+  std::cout << setup.label << ", mix 60/20/20\n\n";
+
+  struct Variant {
+    std::string label;
+    AdaServeConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"adaptive (Eqs. 8-9)", AdaServeConfig{}});
+  for (int d : {2, 4, 8}) {
+    for (int w : {1, 2, 4}) {
+      AdaServeConfig config;
+      config.adaptive_control = false;
+      config.fixed_beam = {.depth = d, .width = w};
+      variants.push_back({"fixed d=" + std::to_string(d) + " w=" + std::to_string(w), config});
+    }
+  }
+
+  TablePrinter table({"Variant", "RPS", "SLO Attainment(%)", "Goodput(tok/s)", "Mean acc"});
+  for (double rps : {2.6, 3.6, 4.6}) {
+    const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+    for (const Variant& v : variants) {
+      AdaServeScheduler scheduler(v.config);
+      const EngineResult result = exp.Run(scheduler, workload);
+      table.AddRow({v.label, Fmt(rps, 1), FmtPct(result.metrics.AttainmentPct()),
+                    Fmt(result.metrics.GoodputTps(), 1), Fmt(result.metrics.mean_accepted, 2)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

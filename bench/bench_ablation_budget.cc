@@ -1,0 +1,38 @@
+// Ablation: the roofline-derived verification token budget B.
+//
+// Sweeps multiples of the derived budget. Under-provisioned budgets starve
+// the SLO phase; over-provisioned budgets push iterations past the roofline
+// knee so every token costs compute time. The derived B should sit near the
+// attainment/goodput sweet spot — the paper's "hardware-aware" claim.
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void Run() {
+  std::cout << "Ablation: verification token budget B vs the roofline-derived value\n";
+  const Setup setup = LlamaSetup();
+  Experiment exp(setup);
+  const int derived = DeriveTokenBudget(exp.target_latency());
+  std::cout << setup.label << ", derived B = " << derived << " (4.0 req/s)\n\n";
+  const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, 4.0, PeakMix());
+  TablePrinter table({"B", "x derived", "SLO Attainment(%)", "Goodput(tok/s)", "Mean acc"});
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const int budget = std::max(8, static_cast<int>(derived * mult));
+    AdaServeScheduler scheduler;
+    const EngineResult result = exp.Run(scheduler, workload, {}, budget);
+    table.AddRow({std::to_string(budget), Fmt(mult, 2), FmtPct(result.metrics.AttainmentPct()),
+                  Fmt(result.metrics.GoodputTps(), 1), Fmt(result.metrics.mean_accepted, 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

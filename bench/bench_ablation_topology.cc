@@ -1,0 +1,58 @@
+// Ablation: speculation tree topology (§7 related work).
+//
+// Chains (vLLM-Spec), fixed-shape trees (SpecInfer/Medusa-style), and
+// AdaServe's SLO-customized trees on the same multi-SLO workload. Static
+// trees were designed for small-batch inference: at serving batch sizes
+// their per-request token cost (every level fully expanded) blows past the
+// roofline knee and iteration latency explodes — the hardware-unawareness
+// the paper (and Sequoia) call out. SLO-customized trees win because shape
+// *and size* follow each request's A(r) and the load.
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void Run() {
+  std::cout << "Ablation: speculation tree topology (4.0 req/s, mix 60/20/20)\n";
+  const Setup setup = LlamaSetup();
+  Experiment exp(setup);
+  std::cout << setup.label << "\n\n";
+  const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, 4.0, PeakMix());
+
+  struct Variant {
+    std::string label;
+    std::unique_ptr<Scheduler> scheduler;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"chain k=4 (vLLM-Spec)",
+                      std::make_unique<VllmSpecScheduler>(VllmSpecConfig{.spec_len = 4})});
+  variants.push_back({"static tree 4x1x1",
+                      std::make_unique<StaticTreeSpecScheduler>(
+                          StaticTreeConfig{.branching = {4, 1, 1}})});
+  variants.push_back({"static tree 3x2",
+                      std::make_unique<StaticTreeSpecScheduler>(
+                          StaticTreeConfig{.branching = {3, 2}})});
+  variants.push_back({"static tree 2x2x1",
+                      std::make_unique<StaticTreeSpecScheduler>(
+                          StaticTreeConfig{.branching = {2, 2, 1}})});
+  variants.push_back({"SLO-customized (AdaServe)", std::make_unique<AdaServeScheduler>()});
+
+  TablePrinter table({"Topology", "SLO Attainment(%)", "Cat1(%)", "Goodput(tok/s)", "Mean acc"});
+  for (Variant& v : variants) {
+    const EngineResult result = exp.Run(*v.scheduler, workload);
+    table.AddRow({v.label, FmtPct(result.metrics.AttainmentPct()),
+                  FmtPct(result.metrics.per_category[0].AttainmentPct()),
+                  Fmt(result.metrics.GoodputTps(), 1), Fmt(result.metrics.mean_accepted, 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 7: request frequency of the real-world trace over time.
+//
+// Prints the per-bin arrival counts of the rescaled real-shaped trace (an
+// ASCII rendition of the paper's frequency plot).
+#include <iostream>
+#include <string>
+
+#include "src/adaserve.h"
+
+namespace adaserve {
+namespace {
+
+void Run() {
+  TraceConfig config;
+  config.duration = 1200.0;  // 20 minutes, matching the paper's window.
+  config.mean_rps = 4.0;
+  const std::vector<SimTime> arrivals = RealShapedArrivals(config);
+  std::cout << "Figure 7: request frequency over time (real-shaped trace, "
+            << arrivals.size() << " requests, mean " << Fmt(arrivals.size() / config.duration, 2)
+            << " req/s over 20 min)\n\n";
+
+  constexpr size_t kBins = 40;
+  Histogram hist(0.0, config.duration, kBins);
+  for (SimTime t : arrivals) {
+    hist.Add(t);
+  }
+  size_t max_count = 0;
+  for (size_t b = 0; b < kBins; ++b) {
+    max_count = std::max(max_count, hist.count(b));
+  }
+  TablePrinter table({"t(min)", "req/s", "frequency"});
+  for (size_t b = 0; b < kBins; ++b) {
+    const double bin_seconds = config.duration / kBins;
+    const double rate = hist.count(b) / bin_seconds;
+    const auto bar_len = static_cast<size_t>(50.0 * hist.count(b) / max_count);
+    table.AddRow({Fmt(hist.BinCenter(b) / 60.0, 1), Fmt(rate, 2), std::string(bar_len, '#')});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 9: goodput (tokens/s of SLO-attaining requests) w.r.t. RPS.
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void RunModel(const Setup& setup, const std::vector<double>& rps_grid) {
+  Experiment exp(setup);
+  std::cout << "\n" << setup.label << "\n";
+  TablePrinter table({"System", "RPS", "Goodput(tok/s)", "Throughput(tok/s)"});
+  for (double rps : rps_grid) {
+    const std::vector<Request> workload =
+        exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+    for (const SweepPoint& p : RunAllSystems(exp, workload, rps, MainComparisonSet())) {
+      table.AddRow({std::string(SystemName(p.system)), Fmt(rps, 1),
+                    Fmt(p.metrics.GoodputTps(), 1), Fmt(p.metrics.ThroughputTps(), 1)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  std::cout << "Figure 9: goodput w.r.t. RPS (mix 60/20/20, real-shaped trace)\n";
+  RunModel(LlamaSetup(), LlamaRpsGrid());
+  RunModel(QwenSetup(), QwenRpsGrid());
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

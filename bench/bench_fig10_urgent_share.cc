@@ -1,0 +1,45 @@
+// Figure 10: SLO attainment and goodput w.r.t. the proportion of urgent
+// (Cat 1) requests, at a fixed 4.0 req/s.
+//
+// Expected shape: continuous-batching systems collapse as the urgent share
+// grows; SD-based systems hold steady or improve (fewer long Cat-3 prompts
+// means less prefill pressure).
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void RunModel(const Setup& setup) {
+  Experiment exp(setup);
+  std::cout << "\n" << setup.label << " (4.0 req/s)\n";
+  TablePrinter table(
+      {"System", "Urgent(%)", "SLO Attainment(%)", "Goodput(tok/s)", "Cat1(%)"});
+  for (double urgent : {0.3, 0.5, 0.7, 0.9}) {
+    const double rest = (1.0 - urgent) / 2.0;
+    const std::vector<Request> workload = exp.RealTraceWorkload(
+        kSweepDuration, 4.0, WorkloadConfig{.mix = {urgent, rest, rest}});
+    for (const SweepPoint& p :
+         RunAllSystems(exp, workload, urgent, MainComparisonSet())) {
+      table.AddRow({std::string(SystemName(p.system)), Fmt(urgent * 100.0, 0),
+                    FmtPct(p.metrics.AttainmentPct()), Fmt(p.metrics.GoodputTps(), 1),
+                    FmtPct(p.metrics.per_category[0].AttainmentPct())});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  std::cout << "Figure 10: SLO attainment and goodput w.r.t. urgent request proportion\n";
+  RunModel(LlamaSetup());
+  RunModel(QwenSetup());
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 11: SLO attainment and goodput w.r.t. the Cat-1 SLO scale
+// (multiples of the baseline decode latency), at 4.0 req/s with 60% urgent.
+//
+// Expected shape: continuous-batching systems fall off a cliff below scale
+// 1.0 (they cannot beat one-token-per-iteration latency); SD systems keep
+// serving sub-baseline SLOs, with AdaServe on top because it prioritises
+// the urgent class.
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void RunModel(const Setup& setup) {
+  Experiment exp(setup);
+  std::cout << "\n" << setup.label << " (4.0 req/s, 60% urgent)\n";
+  TablePrinter table({"System", "SLO scale", "SLO Attainment(%)", "Goodput(tok/s)", "Cat1(%)"});
+  for (double scale : {1.6, 1.4, 1.2, 1.0, 0.8, 0.6}) {
+    const CategoryConfig cat_config{.cat1_slo_scale = scale};
+    TraceConfig trace;
+    trace.duration = kSweepDuration;
+    trace.mean_rps = 4.0;
+    const std::vector<Request> workload = BuildWorkload(
+        exp.Categories(cat_config), RealShapedArrivals(trace), PeakMix());
+    for (const SweepPoint& p : RunAllSystems(exp, workload, scale, MainComparisonSet())) {
+      table.AddRow({std::string(SystemName(p.system)), Fmt(scale, 1),
+                    FmtPct(p.metrics.AttainmentPct()), Fmt(p.metrics.GoodputTps(), 1),
+                    FmtPct(p.metrics.per_category[0].AttainmentPct())});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  std::cout << "Figure 11: SLO attainment and goodput w.r.t. SLO scale\n";
+  RunModel(LlamaSetup());
+  RunModel(QwenSetup());
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

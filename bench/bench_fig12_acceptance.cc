@@ -1,0 +1,43 @@
+// Figure 12: mean accepted tokens per request per verification w.r.t. RPS.
+//
+// Expected shape: AdaServe accepts many tokens at low RPS (aggressive
+// speculation) and tapers as load grows (adaptive control shrinks trees);
+// vLLM-Spec(k)'s acceptance is flat in RPS because its strategy is static.
+#include <iostream>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+void RunModel(const Setup& setup, const std::vector<double>& rps_grid) {
+  Experiment exp(setup);
+  std::cout << "\n" << setup.label << "\n";
+  const std::vector<SystemKind> systems = {SystemKind::kAdaServe, SystemKind::kVllmSpec4,
+                                           SystemKind::kVllmSpec6, SystemKind::kVllmSpec8};
+  TablePrinter table({"System", "RPS", "Mean accepted tokens"});
+  for (double rps : rps_grid) {
+    const std::vector<Request> workload =
+        exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+    for (const SweepPoint& p : RunAllSystems(exp, workload, rps, systems)) {
+      table.AddRow(
+          {std::string(SystemName(p.system)), Fmt(rps, 1), Fmt(p.metrics.mean_accepted, 2)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  std::cout
+      << "Figure 12: mean accepted tokens per request per verification (speculation accuracy)\n";
+  RunModel(LlamaSetup(), LlamaRpsGrid());
+  RunModel(QwenSetup(), QwenRpsGrid());
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 13: request arrival pattern of the synthetic bursty trace.
+//
+// Each category's arrival rate peaks at a different time (chat early,
+// coding mid, summarization late), stressing a system's ability to follow
+// shifting SLO composition.
+#include <iostream>
+#include <string>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+// The Fig. 13 burst schedule, shared with bench_fig14.
+std::array<BurstSpec, kNumCategories> Fig13Bursts() {
+  return {{
+      // Cat 1 (coding) peaks mid-trace.
+      {.base_rps = 0.4, .peak_rps = 4.0, .peak_phase = 0.50, .peak_width = 0.10},
+      // Cat 2 (chat) peaks early.
+      {.base_rps = 0.4, .peak_rps = 3.5, .peak_phase = 0.18, .peak_width = 0.10},
+      // Cat 3 (summarization) peaks late.
+      {.base_rps = 0.4, .peak_rps = 3.0, .peak_phase = 0.82, .peak_width = 0.10},
+  }};
+}
+
+void Run() {
+  constexpr double kDuration = 360.0;  // 6 minutes, matching Fig. 13.
+  const auto bursts = Fig13Bursts();
+  std::cout << "Figure 13: request arrival pattern of the synthetic trace (6 min)\n\n";
+  const char* names[] = {"Coding", "Chat", "Summarization"};
+  constexpr size_t kBins = 24;
+  TablePrinter table({"t(min)", "Coding(r/s)", "Chat(r/s)", "Summ(r/s)"});
+  std::array<Histogram, kNumCategories> hists = {Histogram(0, kDuration, kBins),
+                                                 Histogram(0, kDuration, kBins),
+                                                 Histogram(0, kDuration, kBins)};
+  for (int c = 0; c < kNumCategories; ++c) {
+    for (SimTime t :
+         BurstyArrivals(bursts[static_cast<size_t>(c)], kDuration, 100 + static_cast<uint64_t>(c))) {
+      hists[static_cast<size_t>(c)].Add(t);
+    }
+  }
+  const double bin_seconds = kDuration / kBins;
+  for (size_t b = 0; b < kBins; ++b) {
+    table.AddRow({Fmt(hists[0].BinCenter(b) / 60.0, 2), Fmt(hists[0].count(b) / bin_seconds, 2),
+                  Fmt(hists[1].count(b) / bin_seconds, 2),
+                  Fmt(hists[2].count(b) / bin_seconds, 2)});
+  }
+  table.Print(std::cout);
+  for (int c = 0; c < kNumCategories; ++c) {
+    std::cout << names[c] << " peak at minute "
+              << Fmt(bursts[static_cast<size_t>(c)].peak_phase * kDuration / 60.0, 1) << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark): CPU cost of the hot scheduling
+// operations — candidate-tree construction, two-phase selection, and tree
+// verification. These ground the Fig. 15 claim that scheduling overhead is
+// a fraction of a percent of iteration time (iterations are tens of ms).
+#include <benchmark/benchmark.h>
+
+#include "src/adaserve.h"
+
+namespace adaserve {
+namespace {
+
+const Experiment& GetExperiment() {
+  static const Experiment* exp = new Experiment(LlamaSetup());
+  return *exp;
+}
+
+std::vector<Token> MakeContext(uint64_t seed, int len) {
+  Rng rng(seed);
+  std::vector<Token> ctx;
+  ctx.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    ctx.push_back(static_cast<Token>(rng.UniformInt(32000)));
+  }
+  return ctx;
+}
+
+void BM_DraftNextDist(benchmark::State& state) {
+  const Experiment& exp = GetExperiment();
+  const std::vector<Token> ctx = MakeContext(1, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp.draft().NextDist(7, ctx));
+  }
+}
+BENCHMARK(BM_DraftNextDist);
+
+void BM_BuildCandidateTree(benchmark::State& state) {
+  const Experiment& exp = GetExperiment();
+  const std::vector<Token> ctx = MakeContext(2, 32);
+  const BeamConfig beam{.depth = static_cast<int>(state.range(0)), .width = 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildCandidateTree(exp.draft(), 7, ctx, beam));
+  }
+}
+BENCHMARK(BM_BuildCandidateTree)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SelectTokens(benchmark::State& state) {
+  const Experiment& exp = GetExperiment();
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<std::vector<Token>> contexts;
+  std::vector<TokenTree> trees;
+  for (int i = 0; i < batch; ++i) {
+    contexts.push_back(MakeContext(static_cast<uint64_t>(i), 32));
+    trees.push_back(BuildCandidateTree(exp.draft(), static_cast<uint64_t>(i), contexts.back(),
+                                       BeamConfig{.depth = 6, .width = 4}));
+  }
+  std::vector<SelectionRequest> reqs(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    reqs[static_cast<size_t>(i)] = {.tree = &trees[static_cast<size_t>(i)], .a_cap = 2.0};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTokens(reqs, /*budget=*/128));
+  }
+}
+BENCHMARK(BM_SelectTokens)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_VerifyTree(benchmark::State& state) {
+  const Experiment& exp = GetExperiment();
+  const std::vector<Token> ctx = MakeContext(3, 32);
+  const TokenTree tree =
+      BuildCandidateTree(exp.draft(), 7, ctx, BeamConfig{.depth = 6, .width = 4});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyTree(exp.target(), 7, ctx, tree, {}, DecodeMode::kStochastic, rng));
+  }
+}
+BENCHMARK(BM_VerifyTree);
+
+void BM_OptimalConstruct(benchmark::State& state) {
+  const Experiment& exp = GetExperiment();
+  const std::vector<Token> ctx = MakeContext(4, 32);
+  const OracleRequest req{.stream = 7, .committed = ctx, .a_req = 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimalConstruct(exp.target(), std::span<const OracleRequest>(&req, 1),
+                         static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_OptimalConstruct)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace adaserve
+
+BENCHMARK_MAIN();

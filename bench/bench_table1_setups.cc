@@ -1,0 +1,36 @@
+// Table 1: evaluation setups (models, parallelism, GPUs) plus the derived
+// hardware quantities (roofline floor, knee, token budgets) this
+// reproduction computes from them.
+#include <iostream>
+
+#include "src/adaserve.h"
+
+namespace adaserve {
+namespace {
+
+void Run() {
+  std::cout << "Table 1: evaluation setups for different models\n\n";
+  TablePrinter table({"Model", "Parallelism", "GPUs", "Draft model", "Weights(GB)",
+                      "Floor(ms)", "Knee(tok)", "Budget B", "Draft B2", "Baseline(ms)"});
+  for (const Setup& setup : {LlamaSetup(), QwenSetup()}) {
+    Experiment exp(setup);
+    const LatencyModel& lat = exp.target_latency();
+    table.AddRow({setup.target_profile.name,
+                  std::to_string(setup.tensor_parallel) + "-way TP",
+                  std::to_string(setup.tensor_parallel) + " x " + setup.gpu.name,
+                  setup.draft_profile.name, Fmt(setup.target_profile.WeightBytes() / 1e9, 1),
+                  Fmt(ToMs(lat.WeightLoadTime()), 2), Fmt(lat.RooflineKnee(), 0),
+                  std::to_string(DeriveTokenBudget(lat)),
+                  std::to_string(DeriveDraftBudget(lat, exp.draft_latency())),
+                  Fmt(ToMs(exp.BaselineLatency()), 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 2: request categories and their SLOs, resolved per model setup.
+#include <cmath>
+#include <iostream>
+
+#include "src/adaserve.h"
+
+namespace adaserve {
+namespace {
+
+void Run() {
+  std::cout << "Table 2: request categories and their SLOs\n\n";
+  for (const Setup& setup : {LlamaSetup(), QwenSetup()}) {
+    Experiment exp(setup);
+    std::cout << setup.label << "  (baseline latency " << Fmt(ToMs(exp.BaselineLatency()), 2)
+              << " ms)\n";
+    TablePrinter table({"Category", "App", "Dataset", "SLO", "SLO(ms)",
+                        "Prompt(mean tok)", "Output(mean tok)"});
+    const std::vector<CategorySpec> cats = exp.Categories();
+    const char* slo_desc[] = {"1.2 x Baseline latency", "50ms", "150ms"};
+    for (int c = 0; c < kNumCategories; ++c) {
+      const CategorySpec& cat = cats[static_cast<size_t>(c)];
+      // Lognormal mean = exp(mu + sigma^2/2).
+      const double prompt_mean =
+          std::exp(cat.prompt_len.log_mean + cat.prompt_len.log_stddev * cat.prompt_len.log_stddev / 2);
+      const double output_mean =
+          std::exp(cat.output_len.log_mean + cat.output_len.log_stddev * cat.output_len.log_stddev / 2);
+      table.AddRow({cat.name, cat.application, cat.dataset, slo_desc[c],
+                    Fmt(ToMs(cat.tpot_slo), 1), Fmt(prompt_mean, 0), Fmt(output_mean, 0)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main() {
+  adaserve::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared sweep machinery for the end-to-end comparison benches
+// (Figs. 8, 9, 12 share the RPS sweep; Figs. 10, 11 fix RPS and vary one
+// workload knob).
+#ifndef ADASERVE_BENCH_SWEEP_COMMON_H_
+#define ADASERVE_BENCH_SWEEP_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/adaserve.h"
+
+namespace adaserve {
+
+// Trace length used by the sweep benches. Long enough for queueing dynamics
+// to dominate; short enough that the full bench suite runs in minutes.
+inline constexpr double kSweepDuration = 40.0;
+
+// RPS grids per model (paper Figs. 8-9 x-axes, coarsened to 0.4 steps).
+inline std::vector<double> LlamaRpsGrid() { return {2.6, 3.0, 3.4, 3.8, 4.2, 4.6, 5.0}; }
+inline std::vector<double> QwenRpsGrid() { return {2.4, 2.8, 3.2, 3.6, 4.0}; }
+
+// The peak-load category mix of the end-to-end comparison (60% Cat 1).
+inline WorkloadConfig PeakMix() { return WorkloadConfig{.mix = {0.6, 0.2, 0.2}}; }
+
+struct SweepPoint {
+  SystemKind system;
+  double x = 0.0;  // the swept knob (RPS, urgent share, SLO scale)
+  Metrics metrics;
+};
+
+// Runs every system in `systems` over `workload` under `exp`.
+inline std::vector<SweepPoint> RunAllSystems(const Experiment& exp,
+                                             const std::vector<Request>& workload, double x,
+                                             const std::vector<SystemKind>& systems) {
+  std::vector<SweepPoint> points;
+  points.reserve(systems.size());
+  for (SystemKind kind : systems) {
+    auto scheduler = MakeScheduler(kind);
+    const EngineResult result = exp.Run(*scheduler, workload);
+    points.push_back({kind, x, result.metrics});
+  }
+  return points;
+}
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_BENCH_SWEEP_COMMON_H_

@@ -1,0 +1,51 @@
+// Umbrella header for the AdaServe library.
+//
+// Pulls in the full public API: the AdaServe scheduler and its substrates
+// (synthetic models, roofline hardware model, speculative-decoding
+// machinery, serving engine, baselines, and the experiment harness).
+#ifndef ADASERVE_SRC_ADASERVE_H_
+#define ADASERVE_SRC_ADASERVE_H_
+
+#include "src/baselines/fastserve.h"
+#include "src/baselines/priority.h"
+#include "src/baselines/sarathi.h"
+#include "src/baselines/static_tree_spec.h"
+#include "src/baselines/vllm.h"
+#include "src/baselines/vllm_spec.h"
+#include "src/baselines/vtc.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/core/adaptive.h"
+#include "src/core/adaserve_scheduler.h"
+#include "src/core/optimal.h"
+#include "src/core/selection.h"
+#include "src/core/slo_accounting.h"
+#include "src/harness/comparisons.h"
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/harness/table_printer.h"
+#include "src/hw/budget.h"
+#include "src/hw/gpu.h"
+#include "src/hw/latency_model.h"
+#include "src/hw/profiles.h"
+#include "src/model/distribution.h"
+#include "src/model/draft_lm.h"
+#include "src/model/sampler.h"
+#include "src/model/synthetic_lm.h"
+#include "src/serve/engine.h"
+#include "src/serve/kv_cache.h"
+#include "src/serve/metrics.h"
+#include "src/serve/request_pool.h"
+#include "src/serve/scheduler.h"
+#include "src/spec/beam_search.h"
+#include "src/spec/sequence_spec.h"
+#include "src/spec/token_tree.h"
+#include "src/spec/verifier.h"
+#include "src/workload/categories.h"
+#include "src/workload/generator.h"
+#include "src/workload/request.h"
+#include "src/workload/trace.h"
+
+#endif  // ADASERVE_SRC_ADASERVE_H_

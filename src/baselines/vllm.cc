@@ -1,0 +1,13 @@
+#include "src/baselines/vllm.h"
+
+namespace adaserve {
+
+IterationRecord VllmScheduler::Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+  IterationRecord record;
+  if (RunFullPrefillIteration(now, pool, ctx, config_.max_prefill_tokens, record)) {
+    return record;
+  }
+  return RunDecodeIteration(now, pool, ctx, RunningRequests(pool));
+}
+
+}  // namespace adaserve

@@ -1,0 +1,33 @@
+// vLLM-style continuous batching (§2, §6.1 baselines).
+//
+// Prefill-priority: whenever an admitted request still needs prefill, run a
+// full-prompt prefill iteration (vLLM v0.8.x default scheduling); otherwise
+// run one decode iteration over every running request, committing exactly
+// one token each. Per-token latency is therefore uniform across the batch —
+// the limitation AdaServe targets.
+#ifndef ADASERVE_SRC_BASELINES_VLLM_H_
+#define ADASERVE_SRC_BASELINES_VLLM_H_
+
+#include "src/serve/scheduler.h"
+
+namespace adaserve {
+
+struct VllmConfig {
+  // Cap on tokens batched into one prefill iteration (max_num_batched_tokens).
+  int max_prefill_tokens = 4096;
+};
+
+class VllmScheduler : public Scheduler {
+ public:
+  explicit VllmScheduler(const VllmConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "vLLM"; }
+  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ private:
+  VllmConfig config_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_BASELINES_VLLM_H_

@@ -1,0 +1,85 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace adaserve {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::Stddev() const { return std::sqrt(Variance()); }
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Samples::Sum() const { return std::accumulate(values_.begin(), values_.end(), 0.0); }
+
+double Samples::Min() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::Max() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<long>((x - lo_) / span * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,77 @@
+// Lightweight statistics helpers used by the metrics layer and tests.
+#ifndef ADASERVE_SRC_COMMON_STATS_H_
+#define ADASERVE_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace adaserve {
+
+// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Population variance; 0 for fewer than two samples.
+  double Variance() const;
+  double Stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores all samples and answers percentile queries. Intended for
+// per-request latency summaries where sample counts are modest.
+class Samples {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double Mean() const;
+  double Sum() const;
+  double Min() const;
+  double Max() const;
+
+  // Linear-interpolated percentile, p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bin. Used by trace visualisation benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bins() const { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_[bin]; }
+  double BinCenter(size_t bin) const;
+  size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_COMMON_STATS_H_

@@ -1,0 +1,29 @@
+#include "src/core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+BeamConfig AdaptSpecParams(int active_requests, int verify_budget, int draft_budget,
+                           const AdaptiveConfig& config) {
+  ADASERVE_CHECK(active_requests >= 1) << "need at least one active request";
+  ADASERVE_CHECK(verify_budget >= 1 && draft_budget >= 1) << "budgets must be positive";
+  ADASERVE_CHECK(config.d_min >= 1 && config.d_max >= config.d_min) << "bad depth bounds";
+  ADASERVE_CHECK(config.w_max >= 1) << "bad width bound";
+
+  const double n = active_requests;
+  const int d_raw =
+      static_cast<int>(std::floor(static_cast<double>(verify_budget) / (n + config.c1))) - 1;
+  const int w_raw =
+      static_cast<int>(std::floor(static_cast<double>(draft_budget) / n) + config.c2);
+
+  BeamConfig beam;
+  beam.depth = std::clamp(d_raw, config.d_min, config.d_max);
+  beam.width = std::clamp(w_raw, 1, config.w_max);
+  return beam;
+}
+
+}  // namespace adaserve

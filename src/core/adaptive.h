@@ -1,0 +1,32 @@
+// Adaptive control of speculation depth and width (§5.2, Eqs. 8-9).
+//
+//   d = clip(D_max, D_min, floor(B1 / (n + c1)) - 1)
+//   w = clip(W_max, 1,     floor(B2 / n) + c2)
+//
+// B1 is the verifier's per-iteration token budget and B2 the speculator's:
+// when many requests are active, the per-request share of the verification
+// budget shrinks, so deep/wide candidate trees would mostly be discarded;
+// when load is light, deeper and wider trees buy more speedup.
+#ifndef ADASERVE_SRC_CORE_ADAPTIVE_H_
+#define ADASERVE_SRC_CORE_ADAPTIVE_H_
+
+#include "src/spec/beam_search.h"
+
+namespace adaserve {
+
+struct AdaptiveConfig {
+  int d_min = 1;
+  int d_max = 8;
+  int w_max = 4;
+  // Tunable constants of Eqs. 8-9 (the paper selects them by grid search).
+  double c1 = 8.0;
+  double c2 = 0.0;
+};
+
+// Computes (d, w) for a batch of `active_requests` given the two budgets.
+BeamConfig AdaptSpecParams(int active_requests, int verify_budget, int draft_budget,
+                           const AdaptiveConfig& config = {});
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_CORE_ADAPTIVE_H_

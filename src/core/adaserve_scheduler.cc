@@ -1,0 +1,213 @@
+#include "src/core/adaserve_scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/core/slo_accounting.h"
+#include "src/spec/verifier.h"
+
+namespace adaserve {
+namespace {
+
+struct PrefillChunk {
+  RequestId id;
+  int tokens;
+};
+
+// Plans prefill chunks FIFO within `budget` tokens.
+std::vector<PrefillChunk> PlanPrefillChunks(const RequestPool& pool,
+                                            const std::vector<RequestId>& prefilling, int budget) {
+  std::vector<PrefillChunk> chunks;
+  for (RequestId id : prefilling) {
+    if (budget <= 0) {
+      break;
+    }
+    const Request& req = pool.Get(id);
+    const int remaining = req.prompt_len - req.prefill_progress;
+    const int take = std::min(remaining, budget);
+    if (take > 0) {
+      chunks.push_back({id, take});
+      budget -= take;
+    }
+  }
+  return chunks;
+}
+
+void ApplyPrefillChunks(RequestPool& pool, ServingContext& ctx,
+                        const std::vector<PrefillChunk>& chunks, SimTime end,
+                        IterationRecord& record) {
+  for (const PrefillChunk& c : chunks) {
+    pool.AdvancePrefill(c.id, c.tokens);
+    record.prefill_tokens += c.tokens;
+    Request& req = pool.Get(c.id);
+    if (req.PrefillDone()) {
+      const Token first =
+          DecodeOneToken(*ctx.target, req.stream_seed, req.output, ctx.mode, *ctx.rng);
+      pool.CommitToken(c.id, first, end);
+      ++record.committed_tokens;
+    }
+  }
+}
+
+}  // namespace
+
+IterationRecord AdaServeScheduler::PrefillOnlyStep(SimTime now, RequestPool& pool,
+                                                   ServingContext& ctx) {
+  IterationRecord record;
+  const std::vector<RequestId> prefilling = PrefillingRequests(pool);
+  ADASERVE_CHECK(!prefilling.empty()) << "prefill-only step without prefill work";
+  // Dedicated prefill pass: drain a backlog_factor-sized slice of the
+  // prompt backlog in one compute-bound forward pass.
+  const int budget =
+      std::max(static_cast<int>(ctx.verify_budget * config_.dedicated_prefill_factor), 1);
+  const std::vector<PrefillChunk> chunks = PlanPrefillChunks(pool, prefilling, budget);
+  int batch_tokens = 0;
+  std::vector<RequestId> ids;
+  for (const PrefillChunk& c : chunks) {
+    batch_tokens += c.tokens;
+    ids.push_back(c.id);
+  }
+  const SimTime latency = ctx.target_latency->PrefillLatency(batch_tokens,
+                                                             pool.SumContextTokens(ids));
+  const SimTime end = now + latency;
+  ApplyPrefillChunks(pool, ctx, chunks, end, record);
+  record.duration = latency;
+  record.prefill_time = latency;
+  last_duration_ = latency;
+  return record;
+}
+
+IterationRecord AdaServeScheduler::Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+  const std::vector<RequestId> running = RunningRequests(pool);
+  const std::vector<RequestId> prefilling = PrefillingRequests(pool);
+  long backlog = 0;
+  for (RequestId id : prefilling) {
+    const Request& req = pool.Get(id);
+    backlog += req.prompt_len - req.prefill_progress;
+  }
+  if (running.empty() ||
+      backlog > static_cast<long>(ctx.verify_budget * config_.backlog_threshold_factor)) {
+    return PrefillOnlyStep(now, pool, ctx);
+  }
+  const int n = static_cast<int>(running.size());
+
+  IterationRecord record;
+  record.decode_requests = n;
+
+  // --- adaptive control (Eqs. 8-9) ---
+  const BeamConfig beam = config_.adaptive_control
+                              ? AdaptSpecParams(n, ctx.verify_budget, ctx.draft_budget,
+                                                config_.adaptive)
+                              : config_.fixed_beam;
+  last_beam_ = beam;
+
+  // --- Step 1: speculation (candidate trees via beam search) ---
+  // Draft cost: step 1 processes the n roots; steps 2..d process n*w
+  // beam tokens each, shapes that repeat and replay from CUDA graphs.
+  const long draft_context = pool.SumContextTokens(running);
+  SimTime spec_time =
+      ctx.draft_latency->ForwardLatency(n, draft_context, /*use_cuda_graph=*/true);
+  for (int step = 1; step < beam.depth; ++step) {
+    spec_time += ctx.draft_latency->ForwardLatency(n * beam.width,
+                                                   draft_context + n * step,
+                                                   /*use_cuda_graph=*/true);
+  }
+  std::vector<TokenTree> candidates;
+  candidates.reserve(running.size());
+  long candidate_tokens = 0;
+  for (RequestId id : running) {
+    const Request& req = pool.Get(id);
+    candidates.push_back(BuildCandidateTree(*ctx.draft, req.stream_seed, req.output, beam));
+    candidate_tokens += candidates.back().size() - 1;
+  }
+
+  // --- Step 2: selection ---
+  // t_spec estimate for A(r): the previous iteration's duration (warm
+  // start: twice the verifier's memory-bound floor).
+  const SimTime t_spec_estimate =
+      last_duration_ > 0.0 ? last_duration_ : 2.0 * ctx.target_latency->WeightLoadTime();
+  std::vector<SelectionRequest> sel_requests(running.size());
+  for (size_t i = 0; i < running.size(); ++i) {
+    const Request& req = pool.Get(running[i]);
+    const double a = MinAcceptedForSlo(req, now, t_spec_estimate);
+    sel_requests[i].tree = &candidates[i];
+    sel_requests[i].a_cap = config_.slo_phase_enabled ? CapRequirement(a, beam.depth) : 0.0;
+  }
+  // Budget: B counts every verified token, roots included (Algorithm 2
+  // decrements B once per root at initialisation).
+  const int budget_total = std::max(0, ctx.verify_budget - n);
+  long prefill_remaining = 0;
+  for (RequestId id : prefilling) {
+    const Request& req = pool.Get(id);
+    prefill_remaining += req.prompt_len - req.prefill_progress;
+  }
+  // Prefill-priority within a cap: queued prompts take budget off the top
+  // (bounded by prefill_reserve x B so bursts cannot starve decoding), the
+  // SLO-customized phase runs on what remains, then leftovers go to extra
+  // prefill chunks and finally to throughput-optimized speculation.
+  const int prefill_cap = static_cast<int>(std::min<long>(
+      {static_cast<long>(ctx.verify_budget * config_.prefill_reserve), prefill_remaining,
+       static_cast<long>(budget_total)}));
+  int budget = budget_total - prefill_cap;
+  TokenSelector selector(sel_requests, config_.selection);
+  budget -= selector.SloPhase(budget);
+  const int prefill_budget = prefill_cap + static_cast<int>(budget * config_.prefill_share);
+  const std::vector<PrefillChunk> chunks = PlanPrefillChunks(pool, prefilling, prefill_budget);
+  int chunk_tokens = 0;
+  for (const PrefillChunk& c : chunks) {
+    chunk_tokens += c.tokens;
+  }
+  budget = budget_total - selector.result().total_taken - chunk_tokens;
+  selector.ThroughputPhase(budget);
+  const SelectionResult& sel = selector.result();
+  const SimTime select_time =
+      config_.select_cost_base + config_.select_cost_per_token * candidate_tokens;
+
+  // --- Step 4: verification (one batched target pass) ---
+  const int verify_tokens = n + sel.total_taken + chunk_tokens;
+  std::vector<RequestId> all_ids = running;
+  for (const PrefillChunk& c : chunks) {
+    all_ids.push_back(c.id);
+  }
+  const SimTime verify_time = ctx.target_latency->ForwardLatency(
+      verify_tokens, pool.SumContextTokens(all_ids), /*use_cuda_graph=*/true);
+
+  const SimTime latency = spec_time + select_time + verify_time;
+  const SimTime end = now + latency;
+
+  // Commit: verify each draft tree, commit accepted + bonus tokens.
+  for (size_t i = 0; i < running.size(); ++i) {
+    const RequestId id = running[i];
+    Request& req = pool.Get(id);
+    if (req.decode_start_time < 0.0) {
+      req.decode_start_time = now;
+    }
+    const VerifyResult verdict = VerifyTree(*ctx.target, req.stream_seed, req.output,
+                                            candidates[i], sel.selected[i], ctx.mode, *ctx.rng);
+    req.verifications += 1;
+    req.accepted_tokens += static_cast<long>(verdict.accepted.size());
+    req.verified_tokens += verdict.tokens_verified;
+    record.verified_tokens += verdict.tokens_verified;
+    for (Token t : verdict.accepted) {
+      if (pool.Get(id).state != RequestState::kRunning) {
+        break;  // Reached target length mid-path.
+      }
+      pool.CommitToken(id, t, end);
+      ++record.committed_tokens;
+    }
+    if (pool.Get(id).state == RequestState::kRunning) {
+      pool.CommitToken(id, verdict.bonus, end);
+      ++record.committed_tokens;
+    }
+  }
+  ApplyPrefillChunks(pool, ctx, chunks, end, record);
+
+  record.duration = latency;
+  record.spec_time = spec_time;
+  record.select_time = select_time;
+  record.verify_time = verify_time;
+  last_duration_ = latency;
+  return record;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,71 @@
+// The AdaServe scheduler: SLO-customized speculative decoding (§4.3, §5).
+//
+// Each decode iteration runs the speculate-select-verify pipeline:
+//   1. Speculation   — adaptive-depth/width beam search builds a candidate
+//                      token tree per running request (draft model, GPU).
+//   2. Selection     — SLO-customized phase satisfies each request's
+//                      A_cap(r), then chunked prefill is co-batched, then
+//                      the throughput-optimized phase spends what remains
+//                      (CPU; its cost is modelled and shows up in Fig. 15).
+//   3. Verification  — one batched target forward pass verifies all draft
+//                      trees and prefill chunks; accepted + bonus tokens
+//                      commit.
+#ifndef ADASERVE_SRC_CORE_ADASERVE_SCHEDULER_H_
+#define ADASERVE_SRC_CORE_ADASERVE_SCHEDULER_H_
+
+#include "src/core/adaptive.h"
+#include "src/core/selection.h"
+#include "src/serve/scheduler.h"
+#include "src/spec/beam_search.h"
+
+namespace adaserve {
+
+struct AdaServeConfig {
+  SelectionConfig selection;
+  AdaptiveConfig adaptive;
+  // Ablation switches.
+  bool adaptive_control = true;  // false => use fixed_beam
+  BeamConfig fixed_beam = {.depth = 4, .width = 2};
+  bool slo_phase_enabled = true;  // false => throughput-only selection
+  // Guaranteed prefill share of the budget, reserved ahead of the SLO phase
+  // so queued prompts keep flowing into decode even under load (otherwise
+  // speculation would starve admission and hide overload as queueing).
+  double prefill_reserve = 0.3;
+  // Fraction of post-SLO-phase leftover budget additionally offered to
+  // chunked prefill (ahead of the throughput-optimized phase).
+  double prefill_share = 0.7;
+  // When the prompt backlog exceeds backlog_threshold_factor x B tokens,
+  // run a dedicated prefill pass of dedicated_prefill_factor x B tokens
+  // instead of a decode iteration. Co-batched chunks alone cannot keep
+  // admission ahead of bursty arrivals; the dedicated pass stalls decoding
+  // (raising A(r) for running requests), which is the prefill pressure the
+  // paper observes at high RPS.
+  double backlog_threshold_factor = 60.0;
+  double dedicated_prefill_factor = 8.0;
+  // CPU cost model of the selection phase: base + per-candidate-token cost.
+  double select_cost_base = 20e-6;
+  double select_cost_per_token = 150e-9;
+};
+
+class AdaServeScheduler : public Scheduler {
+ public:
+  explicit AdaServeScheduler(const AdaServeConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "AdaServe"; }
+  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+  // Last iteration's (d, w) — exposed for the adaptive-control tests.
+  const BeamConfig& last_beam() const { return last_beam_; }
+
+ private:
+  IterationRecord PrefillOnlyStep(SimTime now, RequestPool& pool, ServingContext& ctx);
+
+  AdaServeConfig config_;
+  // Previous iteration duration, used as the t_spec estimate in A(r).
+  SimTime last_duration_ = -1.0;
+  BeamConfig last_beam_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_CORE_ADASERVE_SCHEDULER_H_

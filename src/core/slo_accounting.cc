@@ -1,0 +1,26 @@
+#include "src/core/slo_accounting.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+double MinAcceptedForSlo(const Request& req, SimTime now, SimTime t_spec) {
+  ADASERVE_CHECK(req.tpot_slo > 0.0) << "request " << req.id << " has no SLO";
+  ADASERVE_CHECK(req.first_token_time >= 0.0)
+      << "A(r) undefined before the first token of request " << req.id;
+  // Decode-phase latency so far. The first token is produced by prefill, so
+  // decode accounting starts at first_token_time with o = output_len - 1
+  // decode-produced tokens (matching Request::AvgTpot's denominator).
+  const double l = std::max(0.0, now - req.first_token_time);
+  const double o = req.output_len() - 1;
+  return (l + t_spec) / req.tpot_slo - o;
+}
+
+double CapRequirement(double a, int depth) {
+  ADASERVE_CHECK(depth >= 1) << "depth must be >= 1";
+  return std::min(a, static_cast<double>(depth + 1));
+}
+
+}  // namespace adaserve

@@ -1,0 +1,27 @@
+// TPOT SLO accounting (§3).
+//
+// A(r) = (l + t_spec) / t_TPOT - o is the minimum number of tokens request r
+// must commit in the coming iteration to remain on track for its TPOT SLO,
+// where l is the latency accrued since the first decoding step, o the tokens
+// decoded so far, and t_spec the expected duration of the iteration being
+// planned. A_cap clamps it to the d+1 tokens one verification can commit.
+#ifndef ADASERVE_SRC_CORE_SLO_ACCOUNTING_H_
+#define ADASERVE_SRC_CORE_SLO_ACCOUNTING_H_
+
+#include "src/workload/request.h"
+
+namespace adaserve {
+
+// Minimum expected accepted tokens for `req` in an iteration of estimated
+// duration `t_spec` starting at `now` (the paper's A(r)). Can be <= 1 when
+// the request is ahead of its SLO (the always-committed bonus token then
+// suffices) and grows beyond d+1 when it has fallen behind.
+double MinAcceptedForSlo(const Request& req, SimTime now, SimTime t_spec);
+
+// A_cap(r) = min(A(r), d + 1): the attainable portion of A(r) given
+// speculation depth d (§4.3 Step 2).
+double CapRequirement(double a, int depth);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_CORE_SLO_ACCOUNTING_H_

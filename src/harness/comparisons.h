@@ -1,0 +1,38 @@
+// Factory for the serving systems compared in the paper's evaluation.
+#ifndef ADASERVE_SRC_HARNESS_COMPARISONS_H_
+#define ADASERVE_SRC_HARNESS_COMPARISONS_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/scheduler.h"
+
+namespace adaserve {
+
+enum class SystemKind {
+  kAdaServe,
+  kVllm,
+  kSarathi,
+  kVllmSpec4,
+  kVllmSpec6,
+  kVllmSpec8,
+  kVllmPriority,
+  kFastServe,
+  kVtc,
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SystemKind kind);
+std::string_view SystemName(SystemKind kind);
+
+// Systems of the end-to-end comparison (Figs. 8-12, 14):
+// AdaServe, Sarathi-Serve, vLLM, vLLM-Spec(4/6/8).
+std::vector<SystemKind> MainComparisonSet();
+
+// Systems of the motivation study (Fig. 1): vLLM, vLLM+chunked-prefill
+// (Sarathi), vLLM+Priority, FastServe, VTC.
+std::vector<SystemKind> MotivationSet();
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_HARNESS_COMPARISONS_H_

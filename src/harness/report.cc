@@ -1,0 +1,44 @@
+#include "src/harness/report.h"
+
+#include "src/common/types.h"
+
+namespace adaserve {
+
+MetricsCsvWriter::MetricsCsvWriter(std::ostream& os, std::string_view x_name) : os_(os) {
+  os_ << "system," << x_name
+      << ",attainment_pct,goodput_tps,throughput_tps,mean_accepted,cat1_pct,cat2_pct,cat3_pct,"
+         "makespan_s\n";
+}
+
+void MetricsCsvWriter::AddRow(std::string_view system, double x, const Metrics& metrics) {
+  os_ << system << ',' << x << ',' << metrics.AttainmentPct() << ',' << metrics.GoodputTps()
+      << ',' << metrics.ThroughputTps() << ',' << metrics.mean_accepted;
+  for (const CategoryMetrics& cat : metrics.per_category) {
+    os_ << ',' << cat.AttainmentPct();
+  }
+  os_ << ',' << metrics.makespan << '\n';
+}
+
+void WriteRequestCsv(std::ostream& os, std::span<const Request> requests) {
+  os << "id,category,arrival_s,prompt_len,output_len,tpot_slo_ms,avg_tpot_ms,ttft_ms,attained,"
+        "verifications,accepted_tokens,verified_tokens\n";
+  for (const Request& req : requests) {
+    os << req.id << ',' << req.category << ',' << req.arrival << ',' << req.prompt_len << ','
+       << req.output_len() << ',' << ToMs(req.tpot_slo) << ',' << ToMs(req.AvgTpot()) << ','
+       << ToMs(req.first_token_time - req.arrival) << ',' << (req.Attained() ? 1 : 0) << ','
+       << req.verifications << ',' << req.accepted_tokens << ',' << req.verified_tokens << '\n';
+  }
+}
+
+void WriteIterationCsv(std::ostream& os, std::span<const IterationRecord> iterations) {
+  os << "duration_ms,spec_ms,select_ms,verify_ms,prefill_ms,prefill_tokens,decode_requests,"
+        "verified_tokens,committed_tokens\n";
+  for (const IterationRecord& rec : iterations) {
+    os << ToMs(rec.duration) << ',' << ToMs(rec.spec_time) << ',' << ToMs(rec.select_time) << ','
+       << ToMs(rec.verify_time) << ',' << ToMs(rec.prefill_time) << ',' << rec.prefill_tokens
+       << ',' << rec.decode_requests << ',' << rec.verified_tokens << ','
+       << rec.committed_tokens << '\n';
+  }
+}
+
+}  // namespace adaserve

@@ -1,0 +1,31 @@
+// Fixed-width table formatting for bench output.
+#ifndef ADASERVE_SRC_HARNESS_TABLE_PRINTER_H_
+#define ADASERVE_SRC_HARNESS_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adaserve {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("12.34").
+std::string Fmt(double value, int precision = 2);
+
+// Percentage with one decimal ("83.6").
+std::string FmtPct(double value);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,53 @@
+#include "src/hw/budget.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+int DeriveTokenBudget(const LatencyModel& verifier, const BudgetConfig& config) {
+  ADASERVE_CHECK(config.latency_slack >= 1.0) << "slack below the floor is infeasible";
+  const SimTime floor = verifier.WeightLoadTime();
+  const SimTime target = floor * config.latency_slack;
+  const long context = config.typical_context * config.typical_batch;
+  // ForwardLatency is monotone in batch_tokens; binary search the largest
+  // batch that stays at or below the target.
+  int lo = 1;
+  int hi = config.max_budget;
+  if (verifier.ForwardLatency(hi, context, true) <= target) {
+    return hi;
+  }
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (verifier.ForwardLatency(mid, context, true) <= target) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return std::clamp(lo, config.min_budget, config.max_budget);
+}
+
+int DeriveDraftBudget(const LatencyModel& verifier, const LatencyModel& draft, double fraction,
+                      const BudgetConfig& config) {
+  ADASERVE_CHECK(fraction > 0.0 && fraction <= 1.0) << "fraction out of range";
+  const SimTime allowance = verifier.WeightLoadTime() * fraction;
+  // One draft decoding step over `b` tokens must fit in the allowance.
+  int lo = 1;
+  int hi = config.max_budget;
+  if (draft.ForwardLatency(hi, config.typical_context, true) <= allowance) {
+    return hi;
+  }
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (draft.ForwardLatency(mid, config.typical_context, true) <= allowance) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return std::clamp(lo, config.min_budget, config.max_budget);
+}
+
+}  // namespace adaserve

@@ -1,0 +1,145 @@
+#include "src/model/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+namespace {
+
+constexpr double kMinMass = 1e-12;
+
+void SortEntries(std::vector<SparseDist::Entry>& entries) {
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.prob != b.prob) {
+      return a.prob > b.prob;
+    }
+    return a.token < b.token;
+  });
+}
+
+}  // namespace
+
+SparseDist SparseDist::FromWeights(std::span<const Token> tokens, std::span<const double> weights) {
+  ADASERVE_CHECK(tokens.size() == weights.size()) << "token/weight size mismatch";
+  std::map<Token, double> merged;
+  double total = 0.0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    ADASERVE_CHECK(weights[i] >= 0.0) << "negative weight for token " << tokens[i];
+    if (weights[i] > 0.0) {
+      merged[tokens[i]] += weights[i];
+      total += weights[i];
+    }
+  }
+  ADASERVE_CHECK(total > 0.0) << "distribution has no mass";
+  SparseDist dist;
+  dist.entries_.reserve(merged.size());
+  for (const auto& [token, weight] : merged) {
+    dist.entries_.push_back({token, weight / total});
+  }
+  SortEntries(dist.entries_);
+  return dist;
+}
+
+SparseDist SparseDist::PointMass(Token token) {
+  SparseDist dist;
+  dist.entries_.push_back({token, 1.0});
+  return dist;
+}
+
+double SparseDist::ProbOf(Token token) const {
+  for (const Entry& e : entries_) {
+    if (e.token == token) {
+      return e.prob;
+    }
+  }
+  return 0.0;
+}
+
+Token SparseDist::ArgMax() const {
+  ADASERVE_CHECK(!entries_.empty()) << "ArgMax of empty distribution";
+  return entries_.front().token;
+}
+
+Token SparseDist::Sample(Rng& rng) const {
+  ADASERVE_CHECK(!entries_.empty()) << "Sample from empty distribution";
+  const double u = rng.Uniform() * TotalMass();
+  double cum = 0.0;
+  for (const Entry& e : entries_) {
+    cum += e.prob;
+    if (u < cum) {
+      return e.token;
+    }
+  }
+  return entries_.back().token;
+}
+
+double SparseDist::Entropy() const {
+  double h = 0.0;
+  for (const Entry& e : entries_) {
+    if (e.prob > 0.0) {
+      h -= e.prob * std::log(e.prob);
+    }
+  }
+  return h;
+}
+
+SparseDist SparseDist::Residual(const SparseDist& q) const {
+  std::vector<Token> tokens;
+  std::vector<double> weights;
+  tokens.reserve(entries_.size());
+  weights.reserve(entries_.size());
+  double total = 0.0;
+  for (const Entry& e : entries_) {
+    const double w = std::max(e.prob - q.ProbOf(e.token), 0.0);
+    tokens.push_back(e.token);
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= kMinMass) {
+    return *this;
+  }
+  return FromWeights(tokens, weights);
+}
+
+SparseDist SparseDist::WithTemperature(double t) const {
+  ADASERVE_CHECK(t > 0.0) << "temperature must be positive";
+  std::vector<Token> tokens;
+  std::vector<double> weights;
+  tokens.reserve(entries_.size());
+  weights.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    tokens.push_back(e.token);
+    weights.push_back(std::pow(e.prob, 1.0 / t));
+  }
+  return FromWeights(tokens, weights);
+}
+
+double SparseDist::TotalMass() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) {
+    total += e.prob;
+  }
+  return total;
+}
+
+SparseDist Mix(const SparseDist& a, const SparseDist& b, double weight) {
+  ADASERVE_CHECK(weight >= 0.0 && weight <= 1.0) << "mix weight out of range: " << weight;
+  std::vector<Token> tokens;
+  std::vector<double> weights;
+  tokens.reserve(a.size() + b.size());
+  weights.reserve(a.size() + b.size());
+  for (const auto& e : a.entries()) {
+    tokens.push_back(e.token);
+    weights.push_back(weight * e.prob);
+  }
+  for (const auto& e : b.entries()) {
+    tokens.push_back(e.token);
+    weights.push_back((1.0 - weight) * e.prob);
+  }
+  return SparseDist::FromWeights(tokens, weights);
+}
+
+}  // namespace adaserve

@@ -1,0 +1,33 @@
+#include "src/model/draft_lm.h"
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+namespace {
+
+LmConfig NoiseConfig(const SyntheticLm& target, const DraftConfig& config) {
+  LmConfig noise = target.config();
+  noise.seed = config.noise_seed;
+  noise.support = config.noise_support;
+  return noise;
+}
+
+}  // namespace
+
+DraftLm::DraftLm(const SyntheticLm* target, const DraftConfig& config)
+    : target_(target), config_(config), noise_(NoiseConfig(*target, config)) {
+  ADASERVE_CHECK(target_ != nullptr) << "draft model requires a target";
+  ADASERVE_CHECK(config_.fidelity >= 0.0 && config_.fidelity <= 1.0)
+      << "fidelity out of range: " << config_.fidelity;
+}
+
+SparseDist DraftLm::NextDist(uint64_t stream, std::span<const Token> context) const {
+  const SparseDist target_dist = target_->NextDist(stream, context);
+  if (config_.fidelity >= 1.0) {
+    return target_dist;
+  }
+  const SparseDist noise_dist = noise_.NextDist(stream, context);
+  return Mix(target_dist, noise_dist, config_.fidelity);
+}
+
+}  // namespace adaserve

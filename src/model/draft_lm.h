@@ -1,0 +1,47 @@
+// Synthetic draft (speculator) model.
+//
+// Substitutes for Llama-3.2-1B / Qwen2.5-0.5B. The paper's key assumption
+// (§4.2, Challenge 1) is that the draft model's logits approximate the
+// target's acceptance probabilities; we make that approximation explicit:
+// the draft distribution is a fidelity-weighted mixture of the target
+// distribution and an independent noise distribution. fidelity = 1 gives a
+// perfectly distilled draft; fidelity = 0 gives an uninformed one.
+#ifndef ADASERVE_SRC_MODEL_DRAFT_LM_H_
+#define ADASERVE_SRC_MODEL_DRAFT_LM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/model/synthetic_lm.h"
+
+namespace adaserve {
+
+struct DraftConfig {
+  // Mixture weight on the target distribution, in [0, 1].
+  double fidelity = 0.8;
+  // Seed of the noise component (independent of the target's seed).
+  uint64_t noise_seed = 0x5eedbeef;
+  // Support size of the noise component.
+  int noise_support = 24;
+};
+
+class DraftLm {
+ public:
+  // `target` must outlive the draft model.
+  DraftLm(const SyntheticLm* target, const DraftConfig& config);
+
+  const DraftConfig& config() const { return config_; }
+
+  // Draft next-token distribution for the same (stream, context) keying as
+  // the target model.
+  SparseDist NextDist(uint64_t stream, std::span<const Token> context) const;
+
+ private:
+  const SyntheticLm* target_;
+  DraftConfig config_;
+  SyntheticLm noise_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_MODEL_DRAFT_LM_H_

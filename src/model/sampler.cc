@@ -1,0 +1,12 @@
+#include "src/model/sampler.h"
+
+namespace adaserve {
+
+Token SampleToken(const SparseDist& dist, DecodeMode mode, Rng& rng) {
+  if (mode == DecodeMode::kGreedy) {
+    return dist.ArgMax();
+  }
+  return dist.Sample(rng);
+}
+
+}  // namespace adaserve

@@ -1,0 +1,25 @@
+// Decoding modes and token sampling helpers.
+#ifndef ADASERVE_SRC_MODEL_SAMPLER_H_
+#define ADASERVE_SRC_MODEL_SAMPLER_H_
+
+#include "src/model/distribution.h"
+
+namespace adaserve {
+
+// Decoding policy used both for plain auto-regressive generation and for
+// speculative verification.
+enum class DecodeMode {
+  // Deterministic: commit the argmax token; a speculated token is accepted
+  // iff it equals the target argmax.
+  kGreedy,
+  // Sampling: commit a sampled token; speculated tokens go through lossless
+  // speculative-sampling acceptance.
+  kStochastic,
+};
+
+// Draws one token from `dist` under `mode`.
+Token SampleToken(const SparseDist& dist, DecodeMode mode, Rng& rng);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_MODEL_SAMPLER_H_

@@ -1,0 +1,77 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+Engine::Engine(const SyntheticLm* target, const DraftLm* draft, const LatencyModel* target_latency,
+               const LatencyModel* draft_latency, const EngineConfig& config)
+    : target_(target),
+      draft_(draft),
+      target_latency_(target_latency),
+      draft_latency_(draft_latency),
+      config_(config) {
+  ADASERVE_CHECK(target_ != nullptr && draft_ != nullptr) << "engine needs both models";
+  ADASERVE_CHECK(target_latency_ != nullptr && draft_latency_ != nullptr)
+      << "engine needs both latency models";
+}
+
+EngineResult Engine::Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget,
+                         int draft_budget) {
+  ADASERVE_CHECK(std::is_sorted(requests.begin(), requests.end(),
+                                [](const Request& a, const Request& b) {
+                                  return a.arrival < b.arrival;
+                                }))
+      << "requests must be sorted by arrival";
+
+  KvCache kv(target_latency_->KvCacheBytes(), target_latency_->model().KvBytesPerToken());
+  RequestPool pool(&kv);
+  Rng rng(config_.sampling_seed);
+
+  ServingContext ctx;
+  ctx.target = target_;
+  ctx.draft = draft_;
+  ctx.target_latency = target_latency_;
+  ctx.draft_latency = draft_latency_;
+  ctx.mode = config_.mode;
+  ctx.verify_budget = verify_budget > 0 ? verify_budget : DeriveTokenBudget(*target_latency_);
+  ctx.draft_budget =
+      draft_budget > 0 ? draft_budget : DeriveDraftBudget(*target_latency_, *draft_latency_);
+  ctx.rng = &rng;
+
+  EngineResult result;
+  SimTime now = 0.0;
+  size_t next_arrival = 0;
+  long iterations = 0;
+  while (pool.finished_count() < requests.size()) {
+    ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
+    // Inject all arrivals at or before `now`.
+    while (next_arrival < requests.size() && requests[next_arrival].arrival <= now) {
+      pool.AddArrival(requests[next_arrival]);
+      ++next_arrival;
+    }
+    // Admission is uniform across systems: FIFO while KV and slots allow.
+    pool.AdmitUpTo(config_.max_active_requests);
+    if (pool.active().empty()) {
+      // Nothing admitted. Either the queue is empty (idle until the next
+      // arrival) or admission is blocked, which cannot happen with an empty
+      // active set given worst-case reservations.
+      ADASERVE_CHECK(pool.queued().empty()) << "admission deadlock";
+      ADASERVE_CHECK(next_arrival < requests.size()) << "engine stalled with no work";
+      now = requests[next_arrival].arrival;
+      continue;
+    }
+    const IterationRecord record = scheduler.Step(now, pool, ctx);
+    ADASERVE_CHECK(record.duration > 0.0) << scheduler.name() << " made no progress";
+    now += record.duration;
+    result.iterations.push_back(record);
+  }
+  result.end_time = now;
+  result.metrics = ComputeMetrics(pool.requests(), result.iterations, now);
+  result.requests = pool.requests();
+  return result;
+}
+
+}  // namespace adaserve

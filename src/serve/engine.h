@@ -1,0 +1,58 @@
+// Discrete-event serving engine.
+//
+// The engine replays an arrival trace against a scheduler: it injects
+// arrivals whose time has come, asks the scheduler for one iteration,
+// advances the clock by the iteration's latency, and repeats until every
+// request finishes (the run drains). It is the execution-engine half of
+// Fig. 6 with GPU time supplied by the roofline model.
+#ifndef ADASERVE_SRC_SERVE_ENGINE_H_
+#define ADASERVE_SRC_SERVE_ENGINE_H_
+
+#include <vector>
+
+#include "src/hw/budget.h"
+#include "src/serve/metrics.h"
+#include "src/serve/scheduler.h"
+
+namespace adaserve {
+
+struct EngineConfig {
+  // Upper bound on concurrently admitted requests (vLLM max_num_seqs).
+  int max_active_requests = 256;
+  // Safety valve: abort if an experiment exceeds this many iterations.
+  long max_iterations = 50'000'000;
+  uint64_t sampling_seed = 1234;
+  DecodeMode mode = DecodeMode::kStochastic;
+};
+
+struct EngineResult {
+  Metrics metrics;
+  std::vector<IterationRecord> iterations;
+  // Final per-request records (timestamps, outputs, speculation counters).
+  std::vector<Request> requests;
+  SimTime end_time = 0.0;
+};
+
+class Engine {
+ public:
+  // Non-owning references; all must outlive the engine.
+  Engine(const SyntheticLm* target, const DraftLm* draft, const LatencyModel* target_latency,
+         const LatencyModel* draft_latency, const EngineConfig& config = {});
+
+  // Serves `requests` (sorted by arrival) with `scheduler` until completion.
+  // `verify_budget`/`draft_budget` parameterise the ServingContext; pass 0
+  // to derive them from the roofline (DeriveTokenBudget).
+  EngineResult Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget = 0,
+                   int draft_budget = 0);
+
+ private:
+  const SyntheticLm* target_;
+  const DraftLm* draft_;
+  const LatencyModel* target_latency_;
+  const LatencyModel* draft_latency_;
+  EngineConfig config_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SERVE_ENGINE_H_

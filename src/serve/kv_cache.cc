@@ -1,0 +1,53 @@
+#include "src/serve/kv_cache.h"
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+KvCache::KvCache(double capacity_bytes, double bytes_per_token, int block_tokens)
+    : block_tokens_(block_tokens) {
+  ADASERVE_CHECK(capacity_bytes > 0.0) << "no KV capacity";
+  ADASERVE_CHECK(bytes_per_token > 0.0) << "bad KV bytes per token";
+  ADASERVE_CHECK(block_tokens_ > 0) << "bad block size";
+  capacity_tokens_ = static_cast<long>(capacity_bytes / bytes_per_token);
+  ADASERVE_CHECK(capacity_tokens_ >= block_tokens_) << "KV cache smaller than one block";
+}
+
+long KvCache::RoundToBlocks(long tokens) const {
+  return (tokens + block_tokens_ - 1) / block_tokens_ * block_tokens_;
+}
+
+bool KvCache::CanReserve(long tokens) const { return RoundToBlocks(tokens) <= free_tokens(); }
+
+bool KvCache::Reserve(RequestId id, long tokens) {
+  const long rounded = RoundToBlocks(tokens);
+  auto it = held_.find(id);
+  const long current = it == held_.end() ? 0 : it->second;
+  const long delta = rounded - current;
+  if (delta <= 0) {
+    return true;  // Already holding at least this much.
+  }
+  if (delta > free_tokens()) {
+    return false;
+  }
+  used_tokens_ += delta;
+  held_[id] = rounded;
+  return true;
+}
+
+void KvCache::Release(RequestId id) {
+  auto it = held_.find(id);
+  if (it == held_.end()) {
+    return;
+  }
+  used_tokens_ -= it->second;
+  ADASERVE_CHECK(used_tokens_ >= 0) << "KV accounting underflow";
+  held_.erase(it);
+}
+
+long KvCache::HeldBy(RequestId id) const {
+  auto it = held_.find(id);
+  return it == held_.end() ? 0 : it->second;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,53 @@
+// Paged KV-cache block manager (vLLM-style PagedAttention accounting).
+//
+// Capacity is expressed in tokens, allocated in fixed-size blocks. Serving
+// systems reserve a request's worst-case footprint (prompt + max output) at
+// admission, which sidesteps mid-decode OOM; the ledger tracks per-request
+// reservations so preemption/finish can release them.
+#ifndef ADASERVE_SRC_SERVE_KV_CACHE_H_
+#define ADASERVE_SRC_SERVE_KV_CACHE_H_
+
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace adaserve {
+
+class KvCache {
+ public:
+  // `capacity_bytes` of device memory across the TP group, `bytes_per_token`
+  // of KV per cached token, `block_tokens` tokens per page.
+  KvCache(double capacity_bytes, double bytes_per_token, int block_tokens = 16);
+
+  long capacity_tokens() const { return capacity_tokens_; }
+  long used_tokens() const { return used_tokens_; }
+  long free_tokens() const { return capacity_tokens_ - used_tokens_; }
+  int block_tokens() const { return block_tokens_; }
+
+  // Tokens actually consumed by a reservation of `tokens` (block rounding).
+  long RoundToBlocks(long tokens) const;
+
+  // True if a reservation of `tokens` would fit right now.
+  bool CanReserve(long tokens) const;
+
+  // Reserves `tokens` (rounded up to blocks) for `id`. Returns false and
+  // changes nothing if it does not fit. A request may hold only one
+  // reservation; reserving again grows it.
+  bool Reserve(RequestId id, long tokens);
+
+  // Releases everything held by `id`. No-op if `id` holds nothing.
+  void Release(RequestId id);
+
+  // Tokens currently reserved by `id` (post-rounding), 0 if none.
+  long HeldBy(RequestId id) const;
+
+ private:
+  long capacity_tokens_;
+  int block_tokens_;
+  long used_tokens_ = 0;
+  std::unordered_map<RequestId, long> held_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SERVE_KV_CACHE_H_

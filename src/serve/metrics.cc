@@ -1,0 +1,78 @@
+#include "src/serve/metrics.h"
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+
+namespace adaserve {
+
+double Metrics::GoodputTps() const {
+  if (makespan <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(attained_tokens()) / makespan;
+}
+
+double Metrics::ThroughputTps() const {
+  if (makespan <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(output_tokens()) / makespan;
+}
+
+long Metrics::attained_tokens() const {
+  long sum = 0;
+  for (const auto& cat : per_category) {
+    sum += cat.attained_tokens;
+  }
+  return sum;
+}
+
+long Metrics::output_tokens() const {
+  long sum = 0;
+  for (const auto& cat : per_category) {
+    sum += cat.output_tokens;
+  }
+  return sum;
+}
+
+Metrics ComputeMetrics(std::span<const Request> requests,
+                       std::span<const IterationRecord> iterations, SimTime makespan) {
+  Metrics m;
+  m.makespan = makespan;
+  double accepted_sum = 0.0;
+  int spec_requests = 0;
+  for (const Request& req : requests) {
+    ADASERVE_CHECK(req.state == RequestState::kFinished)
+        << "metrics over unfinished request " << req.id;
+    ADASERVE_CHECK(req.category >= 0 && req.category < kNumCategories)
+        << "bad category " << req.category;
+    CategoryMetrics& cat = m.per_category[static_cast<size_t>(req.category)];
+    ++cat.finished;
+    ++m.finished;
+    cat.output_tokens += req.output_len();
+    cat.tpot_ms.Add(ToMs(req.AvgTpot()));
+    cat.ttft_ms.Add(ToMs(req.first_token_time - req.arrival));
+    if (req.Attained()) {
+      ++cat.attained;
+      ++m.attained;
+      cat.attained_tokens += req.output_len();
+    }
+    if (req.verifications > 0) {
+      accepted_sum += req.MeanAccepted();
+      ++spec_requests;
+    }
+  }
+  if (spec_requests > 0) {
+    m.mean_accepted = accepted_sum / spec_requests;
+  }
+  for (const IterationRecord& rec : iterations) {
+    m.spec_time += rec.spec_time;
+    m.select_time += rec.select_time;
+    m.verify_time += rec.verify_time;
+    m.prefill_time += rec.prefill_time;
+    m.total_time += rec.duration;
+  }
+  return m;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,69 @@
+// End-of-run metrics: SLO attainment, goodput, TPOT distributions,
+// speculation acceptance, and the latency breakdown (§6.1 Metrics).
+#ifndef ADASERVE_SRC_SERVE_METRICS_H_
+#define ADASERVE_SRC_SERVE_METRICS_H_
+
+#include <array>
+#include <span>
+
+#include "src/common/stats.h"
+#include "src/serve/scheduler.h"
+#include "src/workload/categories.h"
+#include "src/workload/request.h"
+
+namespace adaserve {
+
+struct CategoryMetrics {
+  int finished = 0;
+  int attained = 0;
+  long output_tokens = 0;
+  long attained_tokens = 0;
+  // Per-request average TPOT, milliseconds.
+  Samples tpot_ms;
+  // Per-request time-to-first-token (arrival to first output token), ms.
+  // Not part of the paper's SLO definition, but the right lens on queueing
+  // delay under overload.
+  Samples ttft_ms;
+
+  double AttainmentPct() const {
+    return finished == 0 ? 100.0 : 100.0 * attained / static_cast<double>(finished);
+  }
+};
+
+struct Metrics {
+  std::array<CategoryMetrics, kNumCategories> per_category;
+  int finished = 0;
+  int attained = 0;
+  // End-to-end wall time of the run (first arrival to last completion).
+  SimTime makespan = 0.0;
+  // Mean accepted speculated tokens per verification per request, averaged
+  // over requests that underwent speculative decoding (Fig. 12).
+  double mean_accepted = 0.0;
+
+  // Latency breakdown sums across all iterations (Fig. 15).
+  SimTime spec_time = 0.0;
+  SimTime select_time = 0.0;
+  SimTime verify_time = 0.0;
+  SimTime prefill_time = 0.0;
+  SimTime total_time = 0.0;
+
+  double AttainmentPct() const {
+    return finished == 0 ? 100.0 : 100.0 * attained / static_cast<double>(finished);
+  }
+  double ViolationPct() const { return 100.0 - AttainmentPct(); }
+  // Output tokens of SLO-attaining requests per second (goodput).
+  double GoodputTps() const;
+  // All output tokens per second.
+  double ThroughputTps() const;
+
+  long attained_tokens() const;
+  long output_tokens() const;
+};
+
+// Computes metrics over finished requests and the iteration log.
+Metrics ComputeMetrics(std::span<const Request> requests,
+                       std::span<const IterationRecord> iterations, SimTime makespan);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SERVE_METRICS_H_

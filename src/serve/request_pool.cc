@@ -1,0 +1,114 @@
+#include "src/serve/request_pool.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+RequestPool::RequestPool(KvCache* kv) : kv_(kv) { ADASERVE_CHECK(kv_ != nullptr) << "null KV"; }
+
+void RequestPool::AddArrival(const Request& request) {
+  ADASERVE_CHECK(request.id == static_cast<RequestId>(requests_.size()))
+      << "requests must arrive with dense sequential ids; got " << request.id;
+  requests_.push_back(request);
+  requests_.back().state = RequestState::kQueued;
+  queued_.push_back(request.id);
+}
+
+Request& RequestPool::Get(RequestId id) {
+  ADASERVE_CHECK(id >= 0 && static_cast<size_t>(id) < requests_.size()) << "bad id " << id;
+  return requests_[static_cast<size_t>(id)];
+}
+
+const Request& RequestPool::Get(RequestId id) const {
+  ADASERVE_CHECK(id >= 0 && static_cast<size_t>(id) < requests_.size()) << "bad id " << id;
+  return requests_[static_cast<size_t>(id)];
+}
+
+RequestId RequestPool::TryAdmit(int max_active) {
+  if (queued_.empty() || static_cast<int>(active_.size()) >= max_active) {
+    return kInvalidRequestId;
+  }
+  const RequestId id = queued_.front();
+  Request& req = Get(id);
+  // Worst-case footprint: full prompt + full output. Reserving up front
+  // guarantees no mid-decode OOM.
+  const long footprint = req.prompt_len + req.target_output_len;
+  if (!kv_->Reserve(id, footprint)) {
+    return kInvalidRequestId;
+  }
+  queued_.pop_front();
+  active_.push_back(id);
+  if (!req.PrefillDone()) {
+    req.state = RequestState::kPrefilling;
+  } else {
+    req.state = RequestState::kRunning;  // Re-admission after preemption.
+  }
+  return id;
+}
+
+int RequestPool::AdmitUpTo(int max_active) {
+  int admitted = 0;
+  while (TryAdmit(max_active) != kInvalidRequestId) {
+    ++admitted;
+  }
+  return admitted;
+}
+
+void RequestPool::AdvancePrefill(RequestId id, int chunk) {
+  Request& req = Get(id);
+  ADASERVE_CHECK(req.state == RequestState::kPrefilling) << "prefill on non-prefilling " << id;
+  ADASERVE_CHECK(chunk > 0) << "empty prefill chunk";
+  req.prefill_progress = std::min(req.prompt_len, req.prefill_progress + chunk);
+  if (req.PrefillDone()) {
+    req.state = RequestState::kRunning;
+  }
+}
+
+void RequestPool::CommitToken(RequestId id, Token token, SimTime now) {
+  Request& req = Get(id);
+  ADASERVE_CHECK(req.state == RequestState::kRunning) << "commit on non-running " << id;
+  req.output.push_back(token);
+  req.token_times.push_back(now);
+  if (req.first_token_time < 0.0) {
+    req.first_token_time = now;
+  }
+  if (req.DecodeDone()) {
+    Finish(id, now);
+  }
+}
+
+void RequestPool::Preempt(RequestId id) {
+  Request& req = Get(id);
+  ADASERVE_CHECK(req.state == RequestState::kPrefilling || req.state == RequestState::kRunning)
+      << "preempt on inactive " << id;
+  auto it = std::find(active_.begin(), active_.end(), id);
+  ADASERVE_CHECK(it != active_.end()) << "preempted request not active " << id;
+  active_.erase(it);
+  // KV stays resident (swap-free preemption); the request resumes where it
+  // stopped, jumping the admission queue.
+  req.state = RequestState::kQueued;
+  queued_.push_front(id);
+}
+
+long RequestPool::SumContextTokens(const std::vector<RequestId>& ids) const {
+  long sum = 0;
+  for (RequestId id : ids) {
+    sum += Get(id).KvTokens();
+  }
+  return sum;
+}
+
+void RequestPool::Finish(RequestId id, SimTime now) {
+  Request& req = Get(id);
+  req.state = RequestState::kFinished;
+  req.finish_time = now;
+  ++finished_count_;
+  kv_->Release(id);
+  auto it = std::find(active_.begin(), active_.end(), id);
+  ADASERVE_CHECK(it != active_.end()) << "finished request not active " << id;
+  active_.erase(it);
+}
+
+}  // namespace adaserve

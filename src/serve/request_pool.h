@@ -1,0 +1,78 @@
+// Request pool: the request manager's view of in-flight work (Fig. 6).
+//
+// Requests move kQueued -> kPrefilling -> kRunning -> kFinished. The pool
+// owns request state; schedulers mutate it through the pool so that state
+// transitions stay consistent with KV accounting.
+#ifndef ADASERVE_SRC_SERVE_REQUEST_POOL_H_
+#define ADASERVE_SRC_SERVE_REQUEST_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/serve/kv_cache.h"
+#include "src/workload/request.h"
+
+namespace adaserve {
+
+class RequestPool {
+ public:
+  explicit RequestPool(KvCache* kv);
+
+  // Adds an arriving request to the back of the admission queue.
+  void AddArrival(const Request& request);
+
+  // Ids awaiting admission, FIFO order.
+  const std::deque<RequestId>& queued() const { return queued_; }
+  // Ids admitted and not finished (prefilling or running).
+  const std::vector<RequestId>& active() const { return active_; }
+
+  bool HasWork() const { return !queued_.empty() || !active_.empty(); }
+  size_t finished_count() const { return finished_count_; }
+
+  Request& Get(RequestId id);
+  const Request& Get(RequestId id) const;
+
+  // Admits the front queued request if its worst-case KV footprint fits and
+  // the active count is below `max_active`. Returns the admitted id or
+  // kInvalidRequestId.
+  RequestId TryAdmit(int max_active);
+
+  // Admits FIFO until blocked; returns number admitted.
+  int AdmitUpTo(int max_active);
+
+  // Records `chunk` prompt tokens prefilled at time `now`. When the prompt
+  // completes, the request transitions to kRunning; the caller then commits
+  // the first output token.
+  void AdvancePrefill(RequestId id, int chunk);
+
+  // Commits one output token at `now`. Handles first-token bookkeeping and,
+  // when the output reaches its target length, finishes the request and
+  // releases its KV.
+  void CommitToken(RequestId id, Token token, SimTime now);
+
+  // Deactivates a running/prefilling request (FastServe/priority
+  // preemption). KV stays resident; the request returns to the front of the
+  // admission queue and resumes without re-prefilling.
+  void Preempt(RequestId id);
+
+  // Sum of context (KV) tokens across the given requests — the attention
+  // read volume of one iteration.
+  long SumContextTokens(const std::vector<RequestId>& ids) const;
+
+  // All requests (for metrics after the run).
+  const std::vector<Request>& requests() const { return requests_; }
+
+ private:
+  void Finish(RequestId id, SimTime now);
+
+  KvCache* kv_;
+  std::vector<Request> requests_;
+  std::deque<RequestId> queued_;
+  std::vector<RequestId> active_;
+  size_t finished_count_ = 0;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SERVE_REQUEST_POOL_H_

@@ -1,0 +1,97 @@
+#include "src/serve/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/spec/verifier.h"
+
+namespace adaserve {
+
+std::vector<RequestId> RunningRequests(const RequestPool& pool) {
+  std::vector<RequestId> ids;
+  ids.reserve(pool.active().size());
+  for (RequestId id : pool.active()) {
+    if (pool.Get(id).state == RequestState::kRunning) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+std::vector<RequestId> PrefillingRequests(const RequestPool& pool) {
+  std::vector<RequestId> ids;
+  ids.reserve(pool.active().size());
+  for (RequestId id : pool.active()) {
+    if (pool.Get(id).state == RequestState::kPrefilling) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+bool RunFullPrefillIteration(SimTime now, RequestPool& pool, ServingContext& ctx,
+                             int max_prefill_tokens, IterationRecord& record) {
+  const std::vector<RequestId> prefilling = PrefillingRequests(pool);
+  if (prefilling.empty()) {
+    return false;
+  }
+  // Batch whole prompts FIFO until the token cap; always take at least one
+  // prompt so oversized prompts still make progress.
+  std::vector<RequestId> batch;
+  int batch_tokens = 0;
+  for (RequestId id : prefilling) {
+    const Request& req = pool.Get(id);
+    const int remaining = req.prompt_len - req.prefill_progress;
+    if (!batch.empty() && batch_tokens + remaining > max_prefill_tokens) {
+      break;
+    }
+    batch.push_back(id);
+    batch_tokens += remaining;
+  }
+  const long context = pool.SumContextTokens(batch);
+  const SimTime latency = ctx.target_latency->PrefillLatency(batch_tokens, context);
+  const SimTime end = now + latency;
+  for (RequestId id : batch) {
+    Request& req = pool.Get(id);
+    pool.AdvancePrefill(id, req.prompt_len - req.prefill_progress);
+    // Prefill's last forward pass produces the first output token.
+    const Token first =
+        DecodeOneToken(*ctx.target, req.stream_seed, req.output, ctx.mode, *ctx.rng);
+    pool.CommitToken(id, first, end);
+  }
+  record.duration = latency;
+  record.prefill_time = latency;
+  record.prefill_tokens = batch_tokens;
+  record.committed_tokens = static_cast<int>(batch.size());
+  return true;
+}
+
+IterationRecord RunDecodeIteration(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                   const std::vector<RequestId>& ids) {
+  IterationRecord record;
+  if (ids.empty()) {
+    return record;
+  }
+  const long context = pool.SumContextTokens(ids);
+  const SimTime latency =
+      ctx.target_latency->ForwardLatency(static_cast<int>(ids.size()), context,
+                                         /*use_cuda_graph=*/true);
+  const SimTime end = now + latency;
+  for (RequestId id : ids) {
+    Request& req = pool.Get(id);
+    ADASERVE_CHECK(req.state == RequestState::kRunning) << "decode on non-running " << id;
+    if (req.decode_start_time < 0.0) {
+      req.decode_start_time = now;
+    }
+    const Token token =
+        DecodeOneToken(*ctx.target, req.stream_seed, req.output, ctx.mode, *ctx.rng);
+    pool.CommitToken(id, token, end);
+  }
+  record.duration = latency;
+  record.verify_time = latency;
+  record.decode_requests = static_cast<int>(ids.size());
+  record.committed_tokens = static_cast<int>(ids.size());
+  return record;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,85 @@
+// Scheduler interface and shared serving machinery.
+//
+// Every serving system — AdaServe and all six baselines — implements
+// Scheduler::Step: given the current time and the request pool, perform one
+// scheduling iteration (admit, prefill, decode/speculate/verify), mutate
+// request state through the pool, and report how long the iteration took and
+// where the time went. The engine (engine.h) is policy-free: it only injects
+// arrivals and advances the clock.
+#ifndef ADASERVE_SRC_SERVE_SCHEDULER_H_
+#define ADASERVE_SRC_SERVE_SCHEDULER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/hw/latency_model.h"
+#include "src/model/draft_lm.h"
+#include "src/model/sampler.h"
+#include "src/model/synthetic_lm.h"
+#include "src/serve/request_pool.h"
+
+namespace adaserve {
+
+// Shared services handed to schedulers each step. Non-owning.
+struct ServingContext {
+  const SyntheticLm* target = nullptr;
+  const DraftLm* draft = nullptr;
+  const LatencyModel* target_latency = nullptr;
+  const LatencyModel* draft_latency = nullptr;
+  DecodeMode mode = DecodeMode::kStochastic;
+  // Verification-side token budget per iteration (the paper's B).
+  int verify_budget = 256;
+  // Speculator-side per-step token budget (the paper's B2).
+  int draft_budget = 256;
+  // RNG stream for target sampling / verification.
+  Rng* rng = nullptr;
+};
+
+// Where one iteration's time went. Speculation/selection/verification map to
+// Fig. 15's breakdown; continuous-batching systems only use decode/prefill.
+struct IterationRecord {
+  SimTime duration = 0.0;
+  SimTime spec_time = 0.0;     // draft model decoding (GPU)
+  SimTime select_time = 0.0;   // token selection (CPU)
+  SimTime verify_time = 0.0;   // target forward: verification or CB decode
+  SimTime prefill_time = 0.0;  // portion attributable to standalone prefill
+  int prefill_tokens = 0;
+  int decode_requests = 0;   // requests that received decode service
+  int verified_tokens = 0;   // speculated tokens submitted to the verifier
+  int committed_tokens = 0;  // output tokens committed
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Runs one iteration starting at `now`. Must make progress (positive
+  // duration) whenever the pool has admissible or active work.
+  virtual IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) = 0;
+};
+
+// --- shared building blocks used by multiple schedulers ---
+
+// Runs a vLLM-style prefill-priority iteration if any admitted request still
+// needs prefill: full prompts are batched up to `max_prefill_tokens` and
+// processed in one pass; completing requests commit their first output
+// token. Returns true (and fills `record`) if a prefill iteration ran.
+bool RunFullPrefillIteration(SimTime now, RequestPool& pool, ServingContext& ctx,
+                             int max_prefill_tokens, IterationRecord& record);
+
+// Runs one continuous-batching decode iteration over `ids` (all must be in
+// kRunning): each request commits exactly one target-sampled token.
+IterationRecord RunDecodeIteration(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                   const std::vector<RequestId>& ids);
+
+// Ids of active requests in kRunning state.
+std::vector<RequestId> RunningRequests(const RequestPool& pool);
+
+// Ids of active requests in kPrefilling state.
+std::vector<RequestId> PrefillingRequests(const RequestPool& pool);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SERVE_SCHEDULER_H_

@@ -1,0 +1,68 @@
+#include "src/spec/beam_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+namespace {
+
+struct Extension {
+  NodeId parent;
+  Token token;
+  double cond_prob;
+  double path_prob;
+};
+
+}  // namespace
+
+TokenTree BuildCandidateTree(const DraftLm& draft, uint64_t stream,
+                             std::span<const Token> committed, const BeamConfig& config) {
+  ADASERVE_CHECK(config.depth >= 1) << "beam depth must be >= 1";
+  ADASERVE_CHECK(config.width >= 1) << "beam width must be >= 1";
+  const Token root_token = committed.empty() ? kInvalidToken : committed.back();
+  TokenTree tree(root_token);
+
+  std::vector<NodeId> frontier = {kRootNode};
+  std::vector<Token> context(committed.begin(), committed.end());
+  for (int step = 0; step < config.depth; ++step) {
+    std::vector<Extension> extensions;
+    extensions.reserve(frontier.size() * 8);
+    for (NodeId node : frontier) {
+      // Draft context = committed tokens + speculated path to this node.
+      const std::vector<Token> path = tree.PathTokens(node);
+      std::vector<Token> ctx = context;
+      ctx.insert(ctx.end(), path.begin(), path.end());
+      const SparseDist dist = draft.NextDist(stream, ctx);
+      const double parent_path = tree.node(node).path_prob;
+      for (const auto& e : dist.entries()) {
+        extensions.push_back({node, e.token, e.prob, parent_path * e.prob});
+      }
+    }
+    const size_t keep = std::min<size_t>(static_cast<size_t>(config.width), extensions.size());
+    std::partial_sort(extensions.begin(), extensions.begin() + static_cast<long>(keep),
+                      extensions.end(), [](const Extension& a, const Extension& b) {
+                        if (a.path_prob != b.path_prob) {
+                          return a.path_prob > b.path_prob;
+                        }
+                        if (a.parent != b.parent) {
+                          return a.parent < b.parent;
+                        }
+                        return a.token < b.token;
+                      });
+    std::vector<NodeId> next_frontier;
+    next_frontier.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      const Extension& e = extensions[i];
+      next_frontier.push_back(tree.AddNode(e.parent, e.token, e.cond_prob));
+    }
+    if (next_frontier.empty()) {
+      break;
+    }
+    frontier = std::move(next_frontier);
+  }
+  return tree;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,33 @@
+// Candidate token-tree construction via beam search (§4.3, Step 1).
+//
+// The speculation phase runs d parallel draft-decoding steps; at each step
+// the w extensions with the highest approximated path probabilities are kept
+// (Theorem 4.1 guarantees that a depth-D_opt beam of width B covers the
+// optimal tree). The resulting candidate tree has 1 + w*d nodes, depth <= d,
+// and every layer after the root holds exactly w nodes.
+#ifndef ADASERVE_SRC_SPEC_BEAM_SEARCH_H_
+#define ADASERVE_SRC_SPEC_BEAM_SEARCH_H_
+
+#include <span>
+
+#include "src/model/draft_lm.h"
+#include "src/spec/token_tree.h"
+
+namespace adaserve {
+
+struct BeamConfig {
+  // Number of draft decoding steps (candidate tree depth d).
+  int depth = 4;
+  // Beam width w: nodes retained per step.
+  int width = 2;
+};
+
+// Builds the candidate token tree for one request. `committed` is the
+// request's committed token sequence (prompt surrogate + outputs); the tree
+// root anchors on its last token.
+TokenTree BuildCandidateTree(const DraftLm& draft, uint64_t stream,
+                             std::span<const Token> committed, const BeamConfig& config);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SPEC_BEAM_SEARCH_H_

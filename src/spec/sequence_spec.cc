@@ -1,0 +1,25 @@
+#include "src/spec/sequence_spec.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+TokenTree BuildChainTree(const DraftLm& draft, uint64_t stream, std::span<const Token> committed,
+                         int k) {
+  ADASERVE_CHECK(k >= 1) << "speculation length must be >= 1";
+  const Token root_token = committed.empty() ? kInvalidToken : committed.back();
+  TokenTree tree(root_token);
+  std::vector<Token> context(committed.begin(), committed.end());
+  NodeId cur = kRootNode;
+  for (int i = 0; i < k; ++i) {
+    const SparseDist dist = draft.NextDist(stream, context);
+    const Token token = dist.ArgMax();
+    cur = tree.AddNode(cur, token, dist.ProbOf(token));
+    context.push_back(token);
+  }
+  return tree;
+}
+
+}  // namespace adaserve

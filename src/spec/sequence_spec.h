@@ -1,0 +1,23 @@
+// Sequence-based speculation, the strategy of vLLM-Spec(k) (§6.1).
+//
+// The draft model proposes a fixed-length greedy chain of k tokens; the
+// chain is a degenerate (single-path) token tree, verified with the same
+// lossless verifier as AdaServe's trees.
+#ifndef ADASERVE_SRC_SPEC_SEQUENCE_SPEC_H_
+#define ADASERVE_SRC_SPEC_SEQUENCE_SPEC_H_
+
+#include <span>
+
+#include "src/model/draft_lm.h"
+#include "src/spec/token_tree.h"
+
+namespace adaserve {
+
+// Builds a k-token greedy draft chain for one request. The returned tree has
+// k + 1 nodes (root + chain).
+TokenTree BuildChainTree(const DraftLm& draft, uint64_t stream, std::span<const Token> committed,
+                         int k);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SPEC_SEQUENCE_SPEC_H_

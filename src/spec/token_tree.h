@@ -1,0 +1,71 @@
+// Draft token trees (§2, Figure 4).
+//
+// A token tree is rooted at the request's last committed token; every other
+// node is a speculated token, annotated with the draft model's conditional
+// probability and the resulting approximated path probability
+// f(v) = prod of conditionals along the root->v path (Eq. 7).
+#ifndef ADASERVE_SRC_SPEC_TOKEN_TREE_H_
+#define ADASERVE_SRC_SPEC_TOKEN_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace adaserve {
+
+using NodeId = int;
+inline constexpr NodeId kRootNode = 0;
+inline constexpr NodeId kInvalidNode = -1;
+
+class TokenTree {
+ public:
+  struct Node {
+    Token token = kInvalidToken;
+    NodeId parent = kInvalidNode;
+    // Draft conditional probability q(token | path to parent). 1.0 for root.
+    double cond_prob = 1.0;
+    // Approximated path probability f(v): product of conditionals. 1.0 for root.
+    double path_prob = 1.0;
+    int depth = 0;
+    std::vector<NodeId> children;
+  };
+
+  // Creates a tree containing only the root. `root_token` is the last
+  // committed token (context anchor), not a speculated token.
+  explicit TokenTree(Token root_token);
+
+  // Adds a speculated token under `parent`. Requires parent to exist and
+  // cond_prob in (0, 1]. Returns the new node's id.
+  NodeId AddNode(NodeId parent, Token token, double cond_prob);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  // Maximum node depth (root = 0).
+  int MaxDepth() const;
+
+  // Tokens along the path from the root (exclusive) to `id` (inclusive).
+  std::vector<Token> PathTokens(NodeId id) const;
+
+  // Sum of path probabilities over a node subset; used by the TPOT
+  // constraint (Eq. 5). Pass ids excluding the root.
+  double SumPathProb(const std::vector<NodeId>& ids) const;
+
+  // All non-root node ids ordered by descending path probability (ties by
+  // shallower depth, then smaller id). A prefix of this order is always a
+  // connected subtree (Appendix B): parents precede children because
+  // conditionals are <= 1.
+  std::vector<NodeId> NodesByPathProb() const;
+
+  // True if `selected` (indexed by NodeId, root implicitly selected) forms a
+  // connected subtree containing the root.
+  bool IsConnectedSelection(const std::vector<char>& selected) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SPEC_TOKEN_TREE_H_

@@ -1,0 +1,56 @@
+#include "src/workload/categories.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+int LengthDist::Sample(Rng& rng) const {
+  const double x = rng.LogNormal(log_mean, log_stddev);
+  const int len = static_cast<int>(std::lround(x));
+  return std::clamp(len, min_len, max_len);
+}
+
+std::vector<CategorySpec> DefaultCategories(double baseline_decode_latency,
+                                            const CategoryConfig& config) {
+  ADASERVE_CHECK(baseline_decode_latency > 0.0) << "baseline latency must be positive";
+  std::vector<CategorySpec> cats(kNumCategories);
+
+  // Cat 1: coding copilot on HumanEval-like prompts (~130-token prompts,
+  // ~130-token completions).
+  cats[kCatCoding] = CategorySpec{
+      .name = "Cat1",
+      .application = "Coding copilot",
+      .dataset = "HumanEval-like",
+      .tpot_slo = config.cat1_slo_scale * baseline_decode_latency,
+      .prompt_len = {.log_mean = std::log(130.0), .log_stddev = 0.45, .min_len = 16, .max_len = 1024},
+      .output_len = {.log_mean = std::log(130.0), .log_stddev = 0.5, .min_len = 8, .max_len = 512},
+  };
+
+  // Cat 2: chatbot on Alpaca-like instructions (~60-token prompts,
+  // ~220-token responses).
+  cats[kCatChat] = CategorySpec{
+      .name = "Cat2",
+      .application = "Chatbot",
+      .dataset = "Alpaca-like",
+      .tpot_slo = config.cat2_slo,
+      .prompt_len = {.log_mean = std::log(60.0), .log_stddev = 0.6, .min_len = 8, .max_len = 1024},
+      .output_len = {.log_mean = std::log(220.0), .log_stddev = 0.55, .min_len = 8, .max_len = 1024},
+  };
+
+  // Cat 3: summarization on CNN/DailyMail-like articles (~900-token
+  // articles, ~110-token summaries). Long prompts drive prefill pressure.
+  cats[kCatSummarization] = CategorySpec{
+      .name = "Cat3",
+      .application = "Summarization",
+      .dataset = "CNN/DailyMail-like",
+      .tpot_slo = config.cat3_slo,
+      .prompt_len = {.log_mean = std::log(900.0), .log_stddev = 0.4, .min_len = 128, .max_len = 4096},
+      .output_len = {.log_mean = std::log(110.0), .log_stddev = 0.4, .min_len = 8, .max_len = 512},
+  };
+  return cats;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,61 @@
+// Request categories and SLOs (Table 2).
+//
+//   Cat 1  Coding copilot   SLO = 1.2 x baseline decode latency  (HumanEval)
+//   Cat 2  Chatbot          SLO = 50 ms                          (Alpaca)
+//   Cat 3  Summarization    SLO = 150 ms                         (CNN/DailyMail)
+//
+// Prompt/output lengths are lognormal fits to the public datasets' summary
+// statistics (the datasets themselves are not shipped; only lengths matter
+// to scheduling — see DESIGN.md §1).
+#ifndef ADASERVE_SRC_WORKLOAD_CATEGORIES_H_
+#define ADASERVE_SRC_WORKLOAD_CATEGORIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace adaserve {
+
+inline constexpr int kNumCategories = 3;
+inline constexpr int kCatCoding = 0;
+inline constexpr int kCatChat = 1;
+inline constexpr int kCatSummarization = 2;
+
+struct LengthDist {
+  // Lognormal parameters of the underlying normal.
+  double log_mean = 0.0;
+  double log_stddev = 0.0;
+  int min_len = 1;
+  int max_len = 1 << 14;
+
+  int Sample(Rng& rng) const;
+};
+
+struct CategorySpec {
+  std::string name;
+  std::string application;
+  std::string dataset;
+  // Resolved TPOT SLO in seconds.
+  double tpot_slo = 0.0;
+  LengthDist prompt_len;
+  LengthDist output_len;
+};
+
+struct CategoryConfig {
+  // Cat-1 SLO = slo_scale x baseline decode latency (paper default 1.2; the
+  // Fig. 11 experiment sweeps this).
+  double cat1_slo_scale = 1.2;
+  // Fixed SLOs for Cat 2/3, seconds.
+  double cat2_slo = 0.050;
+  double cat3_slo = 0.150;
+};
+
+// Builds Table 2 with Cat-1's SLO resolved against the model's measured
+// baseline decode latency (seconds).
+std::vector<CategorySpec> DefaultCategories(double baseline_decode_latency,
+                                            const CategoryConfig& config = {});
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_WORKLOAD_CATEGORIES_H_

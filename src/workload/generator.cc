@@ -1,0 +1,84 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+namespace {
+
+Request MakeRequest(RequestId id, SimTime arrival, int category,
+                    const std::vector<CategorySpec>& categories, Rng& rng) {
+  const CategorySpec& spec = categories[static_cast<size_t>(category)];
+  Request req;
+  req.id = id;
+  req.category = category;
+  req.tpot_slo = spec.tpot_slo;
+  req.arrival = arrival;
+  req.prompt_len = spec.prompt_len.Sample(rng);
+  // Minimum 2 output tokens so the TPOT denominator is well defined.
+  req.target_output_len = std::max(2, spec.output_len.Sample(rng));
+  req.stream_seed = HashCombine(Mix64(0xadaceedeULL), static_cast<uint64_t>(id));
+  return req;
+}
+
+}  // namespace
+
+std::vector<Request> BuildWorkload(const std::vector<CategorySpec>& categories,
+                                   const std::vector<SimTime>& arrivals,
+                                   const WorkloadConfig& config) {
+  ADASERVE_CHECK(categories.size() == kNumCategories) << "expected a full category table";
+  double mix_sum = 0.0;
+  for (double m : config.mix) {
+    ADASERVE_CHECK(m >= 0.0) << "negative mix weight";
+    mix_sum += m;
+  }
+  ADASERVE_CHECK(std::abs(mix_sum - 1.0) < 1e-6) << "category mix must sum to 1, got " << mix_sum;
+
+  Rng rng(config.seed);
+  std::vector<Request> requests;
+  requests.reserve(arrivals.size());
+  RequestId next_id = 0;
+  for (SimTime arrival : arrivals) {
+    const double u = rng.Uniform();
+    int category = 0;
+    double cum = 0.0;
+    for (int c = 0; c < kNumCategories; ++c) {
+      cum += config.mix[static_cast<size_t>(c)];
+      if (u < cum) {
+        category = c;
+        break;
+      }
+      category = c;  // Fall through to the last category on rounding.
+    }
+    requests.push_back(MakeRequest(next_id++, arrival, category, categories, rng));
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  return requests;
+}
+
+std::vector<Request> BuildBurstyWorkload(const std::vector<CategorySpec>& categories,
+                                         const std::array<BurstSpec, kNumCategories>& bursts,
+                                         double duration, uint64_t seed) {
+  ADASERVE_CHECK(categories.size() == kNumCategories) << "expected a full category table";
+  Rng rng(seed);
+  std::vector<Request> requests;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const std::vector<SimTime> arrivals = BurstyArrivals(
+        bursts[static_cast<size_t>(c)], duration, HashCombine(seed, static_cast<uint64_t>(c)));
+    for (SimTime arrival : arrivals) {
+      requests.push_back(MakeRequest(/*id=*/0, arrival, c, categories, rng));
+    }
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<RequestId>(i);
+    requests[i].stream_seed = HashCombine(Mix64(0xadaceedeULL), static_cast<uint64_t>(i));
+  }
+  return requests;
+}
+
+}  // namespace adaserve

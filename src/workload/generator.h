@@ -1,0 +1,35 @@
+// Workload assembly: arrival times x category mix x length sampling.
+#ifndef ADASERVE_SRC_WORKLOAD_GENERATOR_H_
+#define ADASERVE_SRC_WORKLOAD_GENERATOR_H_
+
+#include <array>
+#include <vector>
+
+#include "src/workload/categories.h"
+#include "src/workload/request.h"
+#include "src/workload/trace.h"
+
+namespace adaserve {
+
+struct WorkloadConfig {
+  // Probability of each category for an arriving request. Must sum to ~1.
+  std::array<double, kNumCategories> mix = {0.6, 0.2, 0.2};
+  uint64_t seed = 7;
+};
+
+// Builds requests for the given arrival times: each arrival draws a category
+// from the mix, then prompt/output lengths from that category. Requests are
+// returned sorted by arrival time with sequential ids.
+std::vector<Request> BuildWorkload(const std::vector<CategorySpec>& categories,
+                                   const std::vector<SimTime>& arrivals,
+                                   const WorkloadConfig& config);
+
+// Builds the Fig. 13 workload: one independent bursty arrival process per
+// category, merged into a single request stream.
+std::vector<Request> BuildBurstyWorkload(const std::vector<CategorySpec>& categories,
+                                         const std::array<BurstSpec, kNumCategories>& bursts,
+                                         double duration, uint64_t seed);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,53 @@
+// Arrival trace generation.
+//
+// The paper drives its end-to-end experiments with a rescaled real-world
+// trace (Fig. 7: a bursty, time-varying request frequency) and its
+// sensitivity study with a synthetic trace where each category peaks at a
+// different time (Fig. 13). Both are reproduced here as inhomogeneous
+// Poisson processes with deterministic intensity envelopes.
+#ifndef ADASERVE_SRC_WORKLOAD_TRACE_H_
+#define ADASERVE_SRC_WORKLOAD_TRACE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace adaserve {
+
+struct TraceConfig {
+  // Trace duration in seconds.
+  double duration = 120.0;
+  // Time-averaged request rate (requests/second) after rescaling.
+  double mean_rps = 4.0;
+  uint64_t seed = 42;
+};
+
+// Intensity envelope of the real-world trace, normalised to mean 1 over
+// [0, 1). Mimics Fig. 7: a baseline load with several bursts of differing
+// magnitude. Exposed so tests and the Fig. 7 bench can inspect the shape.
+double RealTraceEnvelope(double phase);
+
+// Arrival times (sorted, within [0, duration)) from the rescaled real-world
+// trace shape.
+std::vector<SimTime> RealShapedArrivals(const TraceConfig& config);
+
+// Homogeneous Poisson arrivals (used by unit tests and ablations).
+std::vector<SimTime> PoissonArrivals(const TraceConfig& config);
+
+// Synthetic per-category bursty trace (Fig. 13): each category has a base
+// rate plus a Gaussian burst centred at a category-specific time.
+struct BurstSpec {
+  double base_rps = 0.5;
+  double peak_rps = 4.0;
+  // Burst centre as a fraction of the duration.
+  double peak_phase = 0.5;
+  // Burst width (standard deviation) as a fraction of the duration.
+  double peak_width = 0.08;
+};
+
+std::vector<SimTime> BurstyArrivals(const BurstSpec& burst, double duration, uint64_t seed);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,154 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace adaserve {
+namespace {
+
+std::vector<CategorySpec> Cats() { return DefaultCategories(/*baseline=*/0.025); }
+
+TEST(Categories, Table2SlosResolved) {
+  const std::vector<CategorySpec> cats = Cats();
+  ASSERT_EQ(cats.size(), static_cast<size_t>(kNumCategories));
+  EXPECT_NEAR(cats[kCatCoding].tpot_slo, 1.2 * 0.025, 1e-12);
+  EXPECT_NEAR(cats[kCatChat].tpot_slo, 0.050, 1e-12);
+  EXPECT_NEAR(cats[kCatSummarization].tpot_slo, 0.150, 1e-12);
+}
+
+TEST(Categories, SloScaleAppliesToCat1Only) {
+  CategoryConfig config;
+  config.cat1_slo_scale = 0.6;
+  const std::vector<CategorySpec> cats = DefaultCategories(0.025, config);
+  EXPECT_NEAR(cats[kCatCoding].tpot_slo, 0.6 * 0.025, 1e-12);
+  EXPECT_NEAR(cats[kCatChat].tpot_slo, 0.050, 1e-12);
+}
+
+TEST(Categories, SummarizationHasLongestPrompts) {
+  const std::vector<CategorySpec> cats = Cats();
+  EXPECT_GT(cats[kCatSummarization].prompt_len.log_mean, cats[kCatCoding].prompt_len.log_mean);
+  EXPECT_GT(cats[kCatSummarization].prompt_len.log_mean, cats[kCatChat].prompt_len.log_mean);
+}
+
+TEST(LengthDist, SamplesWithinBounds) {
+  LengthDist dist{.log_mean = 4.0, .log_stddev = 1.0, .min_len = 10, .max_len = 100};
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int len = dist.Sample(rng);
+    EXPECT_GE(len, 10);
+    EXPECT_LE(len, 100);
+  }
+}
+
+TEST(Generator, RequestsSortedWithDenseIds) {
+  TraceConfig trace;
+  trace.duration = 50.0;
+  trace.mean_rps = 4.0;
+  const std::vector<Request> reqs =
+      BuildWorkload(Cats(), RealShapedArrivals(trace), WorkloadConfig{});
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].id, static_cast<RequestId>(i));
+    if (i > 0) {
+      EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+    }
+  }
+}
+
+TEST(Generator, MixProportionsApproximatelyRespected) {
+  TraceConfig trace;
+  trace.duration = 3000.0;
+  trace.mean_rps = 4.0;
+  WorkloadConfig config;
+  config.mix = {0.6, 0.2, 0.2};
+  const std::vector<Request> reqs = BuildWorkload(Cats(), PoissonArrivals(trace), config);
+  std::array<int, kNumCategories> counts = {0, 0, 0};
+  for (const Request& r : reqs) {
+    ++counts[static_cast<size_t>(r.category)];
+  }
+  const double n = static_cast<double>(reqs.size());
+  EXPECT_NEAR(counts[0] / n, 0.6, 0.03);
+  EXPECT_NEAR(counts[1] / n, 0.2, 0.03);
+  EXPECT_NEAR(counts[2] / n, 0.2, 0.03);
+}
+
+TEST(Generator, DegenerateMixProducesSingleCategory) {
+  TraceConfig trace;
+  trace.duration = 50.0;
+  trace.mean_rps = 4.0;
+  WorkloadConfig config;
+  config.mix = {0.0, 1.0, 0.0};
+  const std::vector<Request> reqs = BuildWorkload(Cats(), PoissonArrivals(trace), config);
+  for (const Request& r : reqs) {
+    EXPECT_EQ(r.category, kCatChat);
+  }
+}
+
+TEST(Generator, OutputLengthAtLeastTwo) {
+  // The TPOT denominator (output_len - 1) must never be zero.
+  TraceConfig trace;
+  trace.duration = 500.0;
+  trace.mean_rps = 4.0;
+  const std::vector<Request> reqs =
+      BuildWorkload(Cats(), PoissonArrivals(trace), WorkloadConfig{});
+  for (const Request& r : reqs) {
+    EXPECT_GE(r.target_output_len, 2);
+    EXPECT_GE(r.prompt_len, 1);
+  }
+}
+
+TEST(Generator, SlosMatchCategory) {
+  TraceConfig trace;
+  trace.duration = 100.0;
+  trace.mean_rps = 4.0;
+  const std::vector<CategorySpec> cats = Cats();
+  const std::vector<Request> reqs =
+      BuildWorkload(cats, PoissonArrivals(trace), WorkloadConfig{});
+  for (const Request& r : reqs) {
+    EXPECT_EQ(r.tpot_slo, cats[static_cast<size_t>(r.category)].tpot_slo);
+  }
+}
+
+TEST(Generator, StreamSeedsUnique) {
+  TraceConfig trace;
+  trace.duration = 100.0;
+  trace.mean_rps = 4.0;
+  const std::vector<Request> reqs =
+      BuildWorkload(Cats(), PoissonArrivals(trace), WorkloadConfig{});
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_NE(reqs[i].stream_seed, reqs[i - 1].stream_seed);
+  }
+}
+
+TEST(Generator, BurstyWorkloadCoversAllCategories) {
+  std::array<BurstSpec, kNumCategories> bursts;
+  bursts.fill(BurstSpec{.base_rps = 1.0, .peak_rps = 3.0, .peak_phase = 0.5, .peak_width = 0.1});
+  const std::vector<Request> reqs = BuildBurstyWorkload(Cats(), bursts, 200.0, 5);
+  std::array<int, kNumCategories> counts = {0, 0, 0};
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].id, static_cast<RequestId>(i));
+    ++counts[static_cast<size_t>(reqs[i].category)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  TraceConfig trace;
+  trace.duration = 60.0;
+  trace.mean_rps = 3.0;
+  WorkloadConfig config;
+  config.seed = 11;
+  const std::vector<Request> a = BuildWorkload(Cats(), PoissonArrivals(trace), config);
+  const std::vector<Request> b = BuildWorkload(Cats(), PoissonArrivals(trace), config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].category, b[i].category);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    EXPECT_EQ(a[i].target_output_len, b[i].target_output_len);
+  }
+}
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,93 @@
+#include "src/serve/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace adaserve {
+namespace {
+
+KvCache MakeCache(long capacity_tokens, int block = 16) {
+  // 1 byte per token makes capacities easy to reason about.
+  return KvCache(static_cast<double>(capacity_tokens), 1.0, block);
+}
+
+TEST(KvCache, CapacityFromBytes) {
+  const KvCache cache(1000.0, 10.0, 16);
+  EXPECT_EQ(cache.capacity_tokens(), 100);
+}
+
+TEST(KvCache, RoundsToBlocks) {
+  const KvCache cache = MakeCache(1000, 16);
+  EXPECT_EQ(cache.RoundToBlocks(1), 16);
+  EXPECT_EQ(cache.RoundToBlocks(16), 16);
+  EXPECT_EQ(cache.RoundToBlocks(17), 32);
+  EXPECT_EQ(cache.RoundToBlocks(0), 0);
+}
+
+TEST(KvCache, ReserveAndRelease) {
+  KvCache cache = MakeCache(100, 10);
+  EXPECT_TRUE(cache.Reserve(1, 25));
+  EXPECT_EQ(cache.used_tokens(), 30);  // rounded to 3 blocks
+  EXPECT_EQ(cache.HeldBy(1), 30);
+  cache.Release(1);
+  EXPECT_EQ(cache.used_tokens(), 0);
+  EXPECT_EQ(cache.HeldBy(1), 0);
+}
+
+TEST(KvCache, RejectsWhenFull) {
+  KvCache cache = MakeCache(100, 10);
+  EXPECT_TRUE(cache.Reserve(1, 60));
+  EXPECT_FALSE(cache.Reserve(2, 50));
+  EXPECT_EQ(cache.used_tokens(), 60);
+  EXPECT_EQ(cache.HeldBy(2), 0);
+  EXPECT_TRUE(cache.Reserve(2, 40));
+}
+
+TEST(KvCache, CanReserveMatchesReserve) {
+  KvCache cache = MakeCache(100, 10);
+  cache.Reserve(1, 70);
+  EXPECT_TRUE(cache.CanReserve(30));
+  EXPECT_FALSE(cache.CanReserve(31));
+}
+
+TEST(KvCache, GrowingReservationChargesDelta) {
+  KvCache cache = MakeCache(100, 10);
+  EXPECT_TRUE(cache.Reserve(1, 20));
+  EXPECT_TRUE(cache.Reserve(1, 50));
+  EXPECT_EQ(cache.used_tokens(), 50);
+  EXPECT_EQ(cache.HeldBy(1), 50);
+}
+
+TEST(KvCache, ShrinkRequestIsNoOp) {
+  KvCache cache = MakeCache(100, 10);
+  EXPECT_TRUE(cache.Reserve(1, 50));
+  EXPECT_TRUE(cache.Reserve(1, 10));
+  EXPECT_EQ(cache.HeldBy(1), 50);
+}
+
+TEST(KvCache, ReleaseUnknownIsNoOp) {
+  KvCache cache = MakeCache(100, 10);
+  cache.Release(42);
+  EXPECT_EQ(cache.used_tokens(), 0);
+}
+
+TEST(KvCache, FreeTokensTracksUsage) {
+  KvCache cache = MakeCache(100, 10);
+  EXPECT_EQ(cache.free_tokens(), 100);
+  cache.Reserve(1, 10);
+  EXPECT_EQ(cache.free_tokens(), 90);
+}
+
+TEST(KvCache, ManyRequestsIndependentLedgers) {
+  KvCache cache = MakeCache(1000, 10);
+  for (RequestId id = 0; id < 10; ++id) {
+    EXPECT_TRUE(cache.Reserve(id, 50));
+  }
+  EXPECT_EQ(cache.used_tokens(), 500);
+  for (RequestId id = 0; id < 10; id += 2) {
+    cache.Release(id);
+  }
+  EXPECT_EQ(cache.used_tokens(), 250);
+}
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,174 @@
+#include "src/hw/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/budget.h"
+#include "src/hw/gpu.h"
+#include "src/hw/profiles.h"
+
+namespace adaserve {
+namespace {
+
+LatencyModel Llama70B() { return LatencyModel(Llama31_70B(), A100_80G(), 4); }
+LatencyModel Qwen32B() { return LatencyModel(Qwen25_32B(), A100_80G(), 2); }
+LatencyModel Draft1B() { return LatencyModel(Llama32_1B(), A100_80G(), 1); }
+
+TEST(Profiles, KvBytesMatchArchitecture) {
+  // 2 (K,V) * layers * kv_heads * head_dim * 2 bytes.
+  EXPECT_DOUBLE_EQ(Llama31_70B().KvBytesPerToken(), 2.0 * 80 * 8 * 128 * 2);
+  EXPECT_DOUBLE_EQ(Qwen25_05B().KvBytesPerToken(), 2.0 * 24 * 2 * 64 * 2);
+}
+
+TEST(Profiles, FlopsPerTokenIsTwiceParams) {
+  EXPECT_DOUBLE_EQ(Llama32_1B().FlopsPerToken(), 2.0 * 1.24e9);
+}
+
+TEST(LatencyModel, WeightLoadTimeScalesInverselyWithTp) {
+  const LatencyModel tp4 = Llama70B();
+  const LatencyModel tp8(Llama31_70B(), A100_80G(), 8);
+  EXPECT_NEAR(tp4.WeightLoadTime() / tp8.WeightLoadTime(), 2.0, 1e-9);
+}
+
+TEST(LatencyModel, SeventyBWeightFloorIsTensOfMs) {
+  // 141 GB over 4 x 2039 GB/s x 0.7 ~ 24.7 ms: the well-known A100 decode
+  // floor for 70B at TP4.
+  const double floor_ms = ToMs(Llama70B().WeightLoadTime());
+  EXPECT_GT(floor_ms, 15.0);
+  EXPECT_LT(floor_ms, 40.0);
+}
+
+TEST(LatencyModel, ForwardLatencyMonotoneInBatchTokens) {
+  const LatencyModel lat = Llama70B();
+  SimTime prev = 0.0;
+  for (int tokens : {1, 8, 64, 256, 1024}) {
+    const SimTime t = lat.ForwardLatency(tokens, 0, true);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LatencyModel, ForwardLatencyMonotoneInContext) {
+  const LatencyModel lat = Llama70B();
+  EXPECT_LT(lat.ForwardLatency(8, 1000, true), lat.ForwardLatency(8, 100000, true));
+}
+
+TEST(LatencyModel, MemoryBoundBelowKnee) {
+  const LatencyModel lat = Llama70B();
+  // Well below the knee, adding tokens is nearly free.
+  const SimTime t1 = lat.ForwardLatency(1, 0, true);
+  const SimTime t2 = lat.ForwardLatency(static_cast<int>(lat.RooflineKnee() / 2), 0, true);
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+TEST(LatencyModel, ComputeBoundAboveKnee) {
+  const LatencyModel lat = Llama70B();
+  const int knee = static_cast<int>(lat.RooflineKnee());
+  const SimTime at_knee = lat.ForwardLatency(knee, 0, true);
+  const SimTime at_double = lat.ForwardLatency(2 * knee, 0, true);
+  EXPECT_NEAR(at_double / at_knee, 2.0, 0.05);
+}
+
+TEST(LatencyModel, KneeEqualsFloorOverPerToken) {
+  const LatencyModel lat = Qwen32B();
+  EXPECT_NEAR(lat.RooflineKnee(), lat.WeightLoadTime() / lat.ComputeTimePerToken(), 1e-9);
+}
+
+TEST(LatencyModel, CudaGraphReducesLatency) {
+  const LatencyModel lat = Llama70B();
+  EXPECT_LT(lat.ForwardLatency(8, 1000, true), lat.ForwardLatency(8, 1000, false));
+}
+
+TEST(LatencyModel, ZeroTokensIsFree) {
+  EXPECT_EQ(Llama70B().ForwardLatency(0, 0, true), 0.0);
+}
+
+TEST(LatencyModel, PrefillLongPromptIsComputeBound) {
+  const LatencyModel lat = Llama70B();
+  const SimTime t = lat.PrefillLatency(4096, 0);
+  EXPECT_NEAR(t, 4096 * lat.ComputeTimePerToken(), lat.WeightLoadTime());
+  EXPECT_GT(t, 10 * lat.WeightLoadTime());
+}
+
+TEST(LatencyModel, BaselineLatencyNearWeightFloor) {
+  const LatencyModel lat = Llama70B();
+  EXPECT_GT(lat.BaselineDecodeLatency(), lat.WeightLoadTime());
+  EXPECT_LT(lat.BaselineDecodeLatency(), 1.2 * lat.WeightLoadTime());
+}
+
+TEST(LatencyModel, DraftModelIsMuchFasterThanTarget) {
+  EXPECT_LT(Draft1B().WeightLoadTime() * 5, Llama70B().WeightLoadTime());
+}
+
+TEST(LatencyModel, KvCacheBytesPositiveAndBounded) {
+  const LatencyModel lat = Llama70B();
+  EXPECT_GT(lat.KvCacheBytes(), 0.0);
+  EXPECT_LT(lat.KvCacheBytes(), 4 * A100_80G().mem_bytes);
+}
+
+TEST(Budget, DerivedBudgetAboveKnee) {
+  const LatencyModel lat = Llama70B();
+  const int budget = DeriveTokenBudget(lat);
+  EXPECT_GT(budget, static_cast<int>(lat.RooflineKnee()));
+}
+
+TEST(Budget, BudgetMonotoneInSlack) {
+  const LatencyModel lat = Llama70B();
+  BudgetConfig loose;
+  loose.latency_slack = 2.5;
+  BudgetConfig tight;
+  tight.latency_slack = 1.2;
+  EXPECT_GT(DeriveTokenBudget(lat, loose), DeriveTokenBudget(lat, tight));
+}
+
+TEST(Budget, BudgetLatencyRespectsSlack) {
+  const LatencyModel lat = Llama70B();
+  BudgetConfig config;
+  const int budget = DeriveTokenBudget(lat, config);
+  const long ctx = config.typical_context * config.typical_batch;
+  EXPECT_LE(lat.ForwardLatency(budget, ctx, true),
+            lat.WeightLoadTime() * config.latency_slack * (1 + 1e-9));
+  // One more token would exceed the target (unless clamped at max).
+  if (budget < config.max_budget) {
+    EXPECT_GT(lat.ForwardLatency(budget + 1, ctx, true),
+              lat.WeightLoadTime() * config.latency_slack);
+  }
+}
+
+TEST(Budget, DraftBudgetRespectsFraction) {
+  const LatencyModel verifier = Llama70B();
+  const LatencyModel draft = Draft1B();
+  BudgetConfig config;
+  const int b2 = DeriveDraftBudget(verifier, draft, 0.25, config);
+  if (b2 < config.max_budget) {
+    EXPECT_LE(draft.ForwardLatency(b2, config.typical_context, true),
+              verifier.WeightLoadTime() * 0.25 * (1 + 1e-9));
+  }
+  EXPECT_GE(b2, config.min_budget);
+}
+
+TEST(Budget, FasterGpuGetsLargerBudget) {
+  const LatencyModel a100 = Llama70B();
+  const LatencyModel h100(Llama31_70B(), H100_80G(), 4);
+  // H100 has proportionally more FLOPs than bandwidth, pushing the knee out.
+  EXPECT_GE(DeriveTokenBudget(h100), DeriveTokenBudget(a100));
+}
+
+struct TpCase {
+  int tp;
+};
+
+class TpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpSweep, AllQuantitiesPositive) {
+  const LatencyModel lat(Qwen25_32B(), A100_80G(), GetParam());
+  EXPECT_GT(lat.WeightLoadTime(), 0.0);
+  EXPECT_GT(lat.ComputeTimePerToken(), 0.0);
+  EXPECT_GT(lat.RooflineKnee(), 0.0);
+  EXPECT_GT(lat.KvCacheBytes(), 0.0);
+  EXPECT_GT(DeriveTokenBudget(lat), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TpSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,107 @@
+#include "src/serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adaserve {
+namespace {
+
+Request FinishedRequest(RequestId id, int category, double tpot_slo, double avg_tpot,
+                        int output_len = 10) {
+  Request req;
+  req.id = id;
+  req.category = category;
+  req.tpot_slo = tpot_slo;
+  req.state = RequestState::kFinished;
+  req.output.assign(static_cast<size_t>(output_len), 1);
+  req.first_token_time = 1.0;
+  req.finish_time = 1.0 + avg_tpot * (output_len - 1);
+  return req;
+}
+
+TEST(Metrics, AttainmentSplitsByCategory) {
+  std::vector<Request> requests = {
+      FinishedRequest(0, 0, 0.030, 0.020),  // attained
+      FinishedRequest(1, 0, 0.030, 0.040),  // violated
+      FinishedRequest(2, 1, 0.050, 0.045),  // attained
+  };
+  const Metrics m = ComputeMetrics(requests, {}, /*makespan=*/10.0);
+  EXPECT_EQ(m.finished, 3);
+  EXPECT_EQ(m.attained, 2);
+  EXPECT_NEAR(m.AttainmentPct(), 200.0 / 3.0, 1e-9);
+  EXPECT_EQ(m.per_category[0].finished, 2);
+  EXPECT_EQ(m.per_category[0].attained, 1);
+  EXPECT_EQ(m.per_category[1].attained, 1);
+  EXPECT_EQ(m.per_category[2].finished, 0);
+}
+
+TEST(Metrics, GoodputCountsOnlyAttainedTokens) {
+  std::vector<Request> requests = {
+      FinishedRequest(0, 0, 0.030, 0.020, /*output_len=*/20),  // attained
+      FinishedRequest(1, 0, 0.030, 0.040, /*output_len=*/50),  // violated
+  };
+  const Metrics m = ComputeMetrics(requests, {}, /*makespan=*/10.0);
+  EXPECT_NEAR(m.GoodputTps(), 20 / 10.0, 1e-9);
+  EXPECT_NEAR(m.ThroughputTps(), 70 / 10.0, 1e-9);
+  EXPECT_LE(m.GoodputTps(), m.ThroughputTps());
+}
+
+TEST(Metrics, ViolationIsComplementOfAttainment) {
+  std::vector<Request> requests = {FinishedRequest(0, 0, 0.030, 0.020)};
+  const Metrics m = ComputeMetrics(requests, {}, 1.0);
+  EXPECT_NEAR(m.AttainmentPct() + m.ViolationPct(), 100.0, 1e-9);
+}
+
+TEST(Metrics, TpotSamplesInMilliseconds) {
+  std::vector<Request> requests = {FinishedRequest(0, 1, 0.050, 0.040)};
+  const Metrics m = ComputeMetrics(requests, {}, 1.0);
+  EXPECT_NEAR(m.per_category[1].tpot_ms.Mean(), 40.0, 1e-6);
+}
+
+TEST(Metrics, MeanAcceptedAveragesOverSpecRequests) {
+  Request a = FinishedRequest(0, 0, 0.030, 0.020);
+  a.verifications = 2;
+  a.accepted_tokens = 6;  // mean 3
+  Request b = FinishedRequest(1, 0, 0.030, 0.020);
+  b.verifications = 4;
+  b.accepted_tokens = 4;  // mean 1
+  Request c = FinishedRequest(2, 0, 0.030, 0.020);  // no speculation
+  const std::vector<Request> requests = {a, b, c};
+  const Metrics m = ComputeMetrics(requests, {}, 1.0);
+  EXPECT_NEAR(m.mean_accepted, 2.0, 1e-9);
+}
+
+TEST(Metrics, BreakdownSumsIterations) {
+  IterationRecord r1;
+  r1.duration = 0.05;
+  r1.spec_time = 0.01;
+  r1.verify_time = 0.03;
+  r1.select_time = 0.001;
+  IterationRecord r2;
+  r2.duration = 0.02;
+  r2.prefill_time = 0.02;
+  const std::vector<IterationRecord> iterations = {r1, r2};
+  const std::vector<Request> requests = {FinishedRequest(0, 0, 0.030, 0.020)};
+  const Metrics m = ComputeMetrics(requests, iterations, 1.0);
+  EXPECT_NEAR(m.spec_time, 0.01, 1e-12);
+  EXPECT_NEAR(m.verify_time, 0.03, 1e-12);
+  EXPECT_NEAR(m.select_time, 0.001, 1e-12);
+  EXPECT_NEAR(m.prefill_time, 0.02, 1e-12);
+  EXPECT_NEAR(m.total_time, 0.07, 1e-12);
+}
+
+TEST(Metrics, EmptyRunIsAllZeroes) {
+  const Metrics m = ComputeMetrics({}, {}, 0.0);
+  EXPECT_EQ(m.finished, 0);
+  EXPECT_EQ(m.GoodputTps(), 0.0);
+  EXPECT_EQ(m.AttainmentPct(), 100.0);
+}
+
+TEST(Metrics, BoundaryTpotCountsAsAttained) {
+  // Exactly at the SLO: attained (within the epsilon tolerance).
+  std::vector<Request> requests = {FinishedRequest(0, 1, 0.050, 0.050)};
+  const Metrics m = ComputeMetrics(requests, {}, 1.0);
+  EXPECT_EQ(m.attained, 1);
+}
+
+}  // namespace
+}  // namespace adaserve

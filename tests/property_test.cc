@@ -1,0 +1,123 @@
+// Cross-cutting property suite: invariants that must hold for every
+// scheduler, workload mix, and seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+using PropertyParams = std::tuple<SystemKind, uint64_t>;
+
+class ServingProperties : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(ServingProperties, InvariantsHoldEndToEnd) {
+  const auto [kind, seed] = GetParam();
+  Experiment exp(TestSetup());
+  TraceConfig trace;
+  trace.duration = 6.0;
+  trace.mean_rps = 3.0;
+  trace.seed = seed;
+  WorkloadConfig mix;
+  mix.mix = {0.5, 0.3, 0.2};
+  mix.seed = seed + 1;
+  std::vector<Request> workload =
+      BuildWorkload(exp.Categories(), RealShapedArrivals(trace), mix);
+  if (workload.empty()) {
+    GTEST_SKIP() << "empty trace realisation";
+  }
+
+  auto scheduler = MakeScheduler(kind);
+  KvCache kv(exp.target_latency().KvCacheBytes(), exp.target_latency().model().KvBytesPerToken());
+  RequestPool pool(&kv);
+  Rng rng(seed + 2);
+  ServingContext ctx;
+  ctx.target = &exp.target();
+  ctx.draft = &exp.draft();
+  ctx.target_latency = &exp.target_latency();
+  ctx.draft_latency = &exp.draft_latency();
+  ctx.mode = DecodeMode::kStochastic;
+  ctx.verify_budget = DeriveTokenBudget(exp.target_latency());
+  ctx.draft_budget = DeriveDraftBudget(exp.target_latency(), exp.draft_latency());
+  ctx.rng = &rng;
+
+  SimTime now = 0.0;
+  size_t next = 0;
+  std::vector<IterationRecord> iterations;
+  while (pool.finished_count() < workload.size()) {
+    while (next < workload.size() && workload[next].arrival <= now) {
+      pool.AddArrival(workload[next]);
+      ++next;
+    }
+    pool.AdmitUpTo(256);
+    if (pool.active().empty()) {
+      ASSERT_LT(next, workload.size());
+      now = workload[next].arrival;
+      continue;
+    }
+    const IterationRecord rec = scheduler->Step(now, pool, ctx);
+    ASSERT_GT(rec.duration, 0.0);
+    // KV accounting never exceeds capacity.
+    ASSERT_LE(kv.used_tokens(), kv.capacity_tokens());
+    now += rec.duration;
+    iterations.push_back(rec);
+    ASSERT_LT(iterations.size(), 200000u) << "runaway simulation";
+  }
+
+  // Per-request invariants.
+  for (const Request& req : pool.requests()) {
+    ASSERT_EQ(req.state, RequestState::kFinished);
+    // Exact output length.
+    EXPECT_EQ(req.output_len(), req.target_output_len);
+    // Timestamps: arrival <= first_token <= finish; token times monotone.
+    EXPECT_GE(req.first_token_time, req.arrival);
+    EXPECT_GE(req.finish_time, req.first_token_time);
+    for (size_t i = 1; i < req.token_times.size(); ++i) {
+      EXPECT_GE(req.token_times[i], req.token_times[i - 1]);
+    }
+    EXPECT_EQ(req.token_times.size(), req.output.size());
+    // Prefill fully accounted.
+    EXPECT_EQ(req.prefill_progress, req.prompt_len);
+    // Speculation bookkeeping sane.
+    EXPECT_GE(req.verified_tokens, req.accepted_tokens);
+    EXPECT_GE(req.accepted_tokens, 0);
+    // TPOT well-defined and positive.
+    EXPECT_GT(req.AvgTpot(), 0.0);
+    // All KV released.
+    EXPECT_EQ(kv.HeldBy(req.id), 0);
+  }
+  EXPECT_EQ(kv.used_tokens(), 0);
+
+  // Aggregate invariants.
+  const Metrics m = ComputeMetrics(pool.requests(), iterations, now);
+  EXPECT_LE(m.GoodputTps(), m.ThroughputTps() + 1e-9);
+  EXPECT_LE(m.attained, m.finished);
+  EXPECT_GE(m.mean_accepted, 0.0);
+  long committed = 0;
+  for (const IterationRecord& rec : iterations) {
+    committed += rec.committed_tokens;
+  }
+  EXPECT_EQ(committed, m.output_tokens());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SystemsAndSeeds, ServingProperties,
+    ::testing::Combine(::testing::Values(SystemKind::kAdaServe, SystemKind::kVllm,
+                                         SystemKind::kSarathi, SystemKind::kVllmSpec6,
+                                         SystemKind::kVllmPriority, SystemKind::kFastServe,
+                                         SystemKind::kVtc),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      std::string name(SystemName(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,78 @@
+#include "src/harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() : exp_(TestSetup()) {}
+
+  EngineResult RunSmall() {
+    AdaServeScheduler scheduler;
+    return exp_.Run(scheduler, UniformWorkload(exp_, 3, kCatChat, 0.1));
+  }
+
+  static size_t CountLines(const std::string& s) {
+    size_t lines = 0;
+    for (char c : s) {
+      if (c == '\n') {
+        ++lines;
+      }
+    }
+    return lines;
+  }
+
+  Experiment exp_;
+};
+
+TEST_F(ReportTest, MetricsCsvHasHeaderAndRows) {
+  const EngineResult result = RunSmall();
+  std::ostringstream os;
+  MetricsCsvWriter writer(os, "rps");
+  writer.AddRow("AdaServe", 4.0, result.metrics);
+  writer.AddRow("vLLM", 4.0, result.metrics);
+  const std::string csv = os.str();
+  EXPECT_EQ(CountLines(csv), 3u);
+  EXPECT_NE(csv.find("system,rps,attainment_pct"), std::string::npos);
+  EXPECT_NE(csv.find("AdaServe,4,"), std::string::npos);
+}
+
+TEST_F(ReportTest, RequestCsvOneRowPerRequest) {
+  const EngineResult result = RunSmall();
+  std::ostringstream os;
+  WriteRequestCsv(os, result.requests);
+  EXPECT_EQ(CountLines(os.str()), 1u + result.requests.size());
+  EXPECT_NE(os.str().find("id,category,arrival_s"), std::string::npos);
+}
+
+TEST_F(ReportTest, IterationCsvOneRowPerIteration) {
+  const EngineResult result = RunSmall();
+  std::ostringstream os;
+  WriteIterationCsv(os, result.iterations);
+  EXPECT_EQ(CountLines(os.str()), 1u + result.iterations.size());
+}
+
+TEST_F(ReportTest, EngineResultCarriesFinishedRequests) {
+  const EngineResult result = RunSmall();
+  ASSERT_EQ(result.requests.size(), 3u);
+  for (const Request& req : result.requests) {
+    EXPECT_EQ(req.state, RequestState::kFinished);
+    EXPECT_EQ(req.output_len(), req.target_output_len);
+  }
+}
+
+TEST_F(ReportTest, TtftRecordedPerCategory) {
+  const EngineResult result = RunSmall();
+  const CategoryMetrics& chat = result.metrics.per_category[kCatChat];
+  EXPECT_EQ(chat.ttft_ms.count(), 3u);
+  EXPECT_GT(chat.ttft_ms.Min(), 0.0);
+}
+
+}  // namespace
+}  // namespace adaserve

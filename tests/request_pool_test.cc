@@ -1,0 +1,151 @@
+#include "src/serve/request_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace adaserve {
+namespace {
+
+Request MakeRequest(RequestId id, int prompt_len = 20, int output_len = 4) {
+  Request req;
+  req.id = id;
+  req.category = 0;
+  req.tpot_slo = 0.05;
+  req.arrival = 0.0;
+  req.prompt_len = prompt_len;
+  req.target_output_len = output_len;
+  req.stream_seed = static_cast<uint64_t>(id);
+  return req;
+}
+
+class RequestPoolTest : public ::testing::Test {
+ protected:
+  RequestPoolTest() : kv_(10000.0, 1.0, 16), pool_(&kv_) {}
+  KvCache kv_;
+  RequestPool pool_;
+};
+
+TEST_F(RequestPoolTest, ArrivalGoesToQueue) {
+  pool_.AddArrival(MakeRequest(0));
+  EXPECT_EQ(pool_.queued().size(), 1u);
+  EXPECT_TRUE(pool_.active().empty());
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kQueued);
+}
+
+TEST_F(RequestPoolTest, AdmissionReservesKv) {
+  pool_.AddArrival(MakeRequest(0, /*prompt_len=*/20, /*output_len=*/4));
+  EXPECT_EQ(pool_.TryAdmit(10), 0);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kPrefilling);
+  EXPECT_EQ(kv_.HeldBy(0), kv_.RoundToBlocks(24));
+}
+
+TEST_F(RequestPoolTest, AdmissionRespectsMaxActive) {
+  pool_.AddArrival(MakeRequest(0));
+  pool_.AddArrival(MakeRequest(1));
+  EXPECT_EQ(pool_.AdmitUpTo(1), 1);
+  EXPECT_EQ(pool_.queued().size(), 1u);
+}
+
+TEST_F(RequestPoolTest, AdmissionBlockedByKv) {
+  KvCache tiny(32.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(MakeRequest(0, 20, 4));   // 24 -> 32 tokens, fits exactly
+  pool.AddArrival(MakeRequest(1, 20, 4));
+  EXPECT_EQ(pool.AdmitUpTo(10), 1);
+  EXPECT_EQ(pool.queued().size(), 1u);
+}
+
+TEST_F(RequestPoolTest, PrefillProgressAndTransition) {
+  pool_.AddArrival(MakeRequest(0, 20, 4));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 12);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kPrefilling);
+  EXPECT_EQ(pool_.Get(0).prefill_progress, 12);
+  pool_.AdvancePrefill(0, 8);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kRunning);
+  EXPECT_TRUE(pool_.Get(0).PrefillDone());
+}
+
+TEST_F(RequestPoolTest, PrefillOverflowClamps) {
+  pool_.AddArrival(MakeRequest(0, 20, 4));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 100);
+  EXPECT_EQ(pool_.Get(0).prefill_progress, 20);
+}
+
+TEST_F(RequestPoolTest, CommitTokensAndFinish) {
+  pool_.AddArrival(MakeRequest(0, 20, 3));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 20);
+  pool_.CommitToken(0, 5, 1.0);
+  EXPECT_EQ(pool_.Get(0).first_token_time, 1.0);
+  pool_.CommitToken(0, 6, 1.1);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kRunning);
+  pool_.CommitToken(0, 7, 1.2);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kFinished);
+  EXPECT_EQ(pool_.Get(0).finish_time, 1.2);
+  EXPECT_EQ(pool_.finished_count(), 1u);
+  EXPECT_TRUE(pool_.active().empty());
+  EXPECT_EQ(kv_.HeldBy(0), 0);  // KV released on finish
+}
+
+TEST_F(RequestPoolTest, AvgTpotFromTimestamps) {
+  pool_.AddArrival(MakeRequest(0, 20, 3));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 20);
+  pool_.CommitToken(0, 5, 1.0);
+  pool_.CommitToken(0, 6, 1.1);
+  pool_.CommitToken(0, 7, 1.2);
+  EXPECT_NEAR(pool_.Get(0).AvgTpot(), 0.1, 1e-9);
+  EXPECT_FALSE(pool_.Get(0).Attained());  // 100ms > 50ms SLO
+}
+
+TEST_F(RequestPoolTest, PreemptKeepsStateAndRequeuesFront) {
+  pool_.AddArrival(MakeRequest(0, 20, 4));
+  pool_.AddArrival(MakeRequest(1, 20, 4));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 20);
+  pool_.CommitToken(0, 5, 1.0);
+  pool_.Preempt(0);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kQueued);
+  EXPECT_EQ(pool_.queued().front(), 0);
+  EXPECT_GT(kv_.HeldBy(0), 0);  // KV kept resident
+  // Re-admission restores kRunning without re-prefill.
+  EXPECT_EQ(pool_.TryAdmit(10), 0);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kRunning);
+  EXPECT_EQ(pool_.Get(0).output_len(), 1);
+}
+
+TEST_F(RequestPoolTest, SumContextTokens) {
+  pool_.AddArrival(MakeRequest(0, 10, 4));
+  pool_.AddArrival(MakeRequest(1, 30, 4));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 10);
+  pool_.AdvancePrefill(1, 30);
+  pool_.CommitToken(0, 5, 1.0);
+  EXPECT_EQ(pool_.SumContextTokens({0, 1}), 10 + 1 + 30);
+}
+
+TEST_F(RequestPoolTest, HasWorkReflectsState) {
+  EXPECT_FALSE(pool_.HasWork());
+  pool_.AddArrival(MakeRequest(0, 4, 2));
+  EXPECT_TRUE(pool_.HasWork());
+  pool_.AdmitUpTo(10);
+  EXPECT_TRUE(pool_.HasWork());
+  pool_.AdvancePrefill(0, 4);
+  pool_.CommitToken(0, 1, 0.1);
+  pool_.CommitToken(0, 2, 0.2);
+  EXPECT_FALSE(pool_.HasWork());
+}
+
+TEST_F(RequestPoolTest, MeanAcceptedBookkeeping) {
+  Request req = MakeRequest(0);
+  pool_.AddArrival(req);
+  pool_.AdmitUpTo(10);
+  Request& r = pool_.Get(0);
+  r.verifications = 4;
+  r.accepted_tokens = 10;
+  EXPECT_DOUBLE_EQ(r.MeanAccepted(), 2.5);
+}
+
+}  // namespace
+}  // namespace adaserve

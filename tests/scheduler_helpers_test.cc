@@ -1,0 +1,126 @@
+#include "src/serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+class SchedulerHelpersTest : public ::testing::Test {
+ protected:
+  SchedulerHelpersTest()
+      : exp_(TestSetup()),
+        kv_(exp_.target_latency().KvCacheBytes(),
+            exp_.target_latency().model().KvBytesPerToken()),
+        pool_(&kv_),
+        rng_(7) {
+    ctx_.target = &exp_.target();
+    ctx_.draft = &exp_.draft();
+    ctx_.target_latency = &exp_.target_latency();
+    ctx_.draft_latency = &exp_.draft_latency();
+    ctx_.mode = DecodeMode::kStochastic;
+    ctx_.rng = &rng_;
+  }
+
+  void AddAndAdmit(int n, int prompt_len = 64, int output_len = 8) {
+    const std::vector<Request> reqs =
+        UniformWorkload(exp_, n, kCatChat, 0.0, prompt_len, output_len);
+    for (const Request& r : reqs) {
+      pool_.AddArrival(r);
+    }
+    pool_.AdmitUpTo(100);
+  }
+
+  Experiment exp_;
+  KvCache kv_;
+  RequestPool pool_;
+  Rng rng_;
+  ServingContext ctx_;
+};
+
+TEST_F(SchedulerHelpersTest, RunningAndPrefillingPartitions) {
+  AddAndAdmit(3);
+  EXPECT_EQ(PrefillingRequests(pool_).size(), 3u);
+  EXPECT_TRUE(RunningRequests(pool_).empty());
+  pool_.AdvancePrefill(0, 64);
+  EXPECT_EQ(PrefillingRequests(pool_).size(), 2u);
+  EXPECT_EQ(RunningRequests(pool_).size(), 1u);
+}
+
+TEST_F(SchedulerHelpersTest, FullPrefillIterationCompletesPromptsAndEmitsFirstToken) {
+  AddAndAdmit(2);
+  IterationRecord record;
+  ASSERT_TRUE(RunFullPrefillIteration(0.0, pool_, ctx_, 4096, record));
+  EXPECT_EQ(record.prefill_tokens, 128);
+  EXPECT_GT(record.duration, 0.0);
+  EXPECT_EQ(record.committed_tokens, 2);
+  for (RequestId id : {RequestId{0}, RequestId{1}}) {
+    EXPECT_TRUE(pool_.Get(id).PrefillDone());
+    EXPECT_EQ(pool_.Get(id).output_len(), 1);
+    EXPECT_NEAR(pool_.Get(id).first_token_time, record.duration, 1e-12);
+  }
+}
+
+TEST_F(SchedulerHelpersTest, FullPrefillRespectsTokenCap) {
+  AddAndAdmit(3, /*prompt_len=*/100);
+  IterationRecord record;
+  ASSERT_TRUE(RunFullPrefillIteration(0.0, pool_, ctx_, /*max_prefill_tokens=*/250, record));
+  EXPECT_EQ(record.prefill_tokens, 200);  // two whole prompts fit, not three
+  EXPECT_EQ(PrefillingRequests(pool_).size(), 1u);
+}
+
+TEST_F(SchedulerHelpersTest, OversizedPromptStillProgresses) {
+  AddAndAdmit(1, /*prompt_len=*/5000);
+  IterationRecord record;
+  ASSERT_TRUE(RunFullPrefillIteration(0.0, pool_, ctx_, /*max_prefill_tokens=*/1000, record));
+  EXPECT_EQ(record.prefill_tokens, 5000);  // at least one prompt always runs
+}
+
+TEST_F(SchedulerHelpersTest, NoPrefillWorkReturnsFalse) {
+  AddAndAdmit(1);
+  pool_.AdvancePrefill(0, 64);
+  IterationRecord record;
+  EXPECT_FALSE(RunFullPrefillIteration(0.0, pool_, ctx_, 4096, record));
+}
+
+TEST_F(SchedulerHelpersTest, DecodeIterationCommitsOneTokenEach) {
+  AddAndAdmit(3);
+  for (RequestId id : {RequestId{0}, RequestId{1}, RequestId{2}}) {
+    pool_.AdvancePrefill(id, 64);
+    pool_.CommitToken(id, 1, 0.0);
+  }
+  const std::vector<RequestId> running = RunningRequests(pool_);
+  const IterationRecord record = RunDecodeIteration(0.5, pool_, ctx_, running);
+  EXPECT_EQ(record.committed_tokens, 3);
+  EXPECT_EQ(record.decode_requests, 3);
+  EXPECT_GT(record.duration, 0.0);
+  for (RequestId id : running) {
+    EXPECT_EQ(pool_.Get(id).output_len(), 2);
+    EXPECT_NEAR(pool_.Get(id).token_times.back(), 0.5 + record.duration, 1e-12);
+    EXPECT_EQ(pool_.Get(id).decode_start_time, 0.5);
+  }
+}
+
+TEST_F(SchedulerHelpersTest, DecodeIterationEmptyBatchIsNoOp) {
+  const IterationRecord record = RunDecodeIteration(0.0, pool_, ctx_, {});
+  EXPECT_EQ(record.duration, 0.0);
+  EXPECT_EQ(record.committed_tokens, 0);
+}
+
+TEST_F(SchedulerHelpersTest, DecodeLatencyGrowsWithBatch) {
+  AddAndAdmit(20, /*prompt_len=*/64, /*output_len=*/100);
+  std::vector<RequestId> all;
+  for (RequestId id = 0; id < 20; ++id) {
+    pool_.AdvancePrefill(id, 64);
+    pool_.CommitToken(id, 1, 0.0);
+    all.push_back(id);
+  }
+  const std::vector<RequestId> two(all.begin(), all.begin() + 2);
+  const IterationRecord small = RunDecodeIteration(0.0, pool_, ctx_, two);
+  const IterationRecord big = RunDecodeIteration(1.0, pool_, ctx_, all);
+  EXPECT_GT(big.duration, small.duration);
+}
+
+}  // namespace
+}  // namespace adaserve

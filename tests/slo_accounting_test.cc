@@ -1,0 +1,119 @@
+#include "src/core/slo_accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/adaptive.h"
+
+namespace adaserve {
+namespace {
+
+Request MakeRequest(double tpot_slo, SimTime first_token, int output_len) {
+  Request req;
+  req.id = 1;
+  req.tpot_slo = tpot_slo;
+  req.first_token_time = first_token;
+  req.output.assign(static_cast<size_t>(output_len), 7);
+  return req;
+}
+
+TEST(SloAccounting, MatchesFormula) {
+  // A(r) = (l + t_spec) / tpot - o with l = now - first_token, o = len - 1.
+  const Request req = MakeRequest(/*tpot_slo=*/0.05, /*first_token=*/1.0, /*output_len=*/5);
+  const double a = MinAcceptedForSlo(req, /*now=*/1.2, /*t_spec=*/0.05);
+  EXPECT_NEAR(a, (0.2 + 0.05) / 0.05 - 4, 1e-12);  // = 1.0
+}
+
+TEST(SloAccounting, AheadOfScheduleNeedsLittle) {
+  // Many tokens already emitted quickly: A(r) can be negative.
+  const Request req = MakeRequest(0.05, 1.0, 50);
+  const double a = MinAcceptedForSlo(req, 1.1, 0.03);
+  EXPECT_LT(a, 0.0);
+}
+
+TEST(SloAccounting, BehindScheduleNeedsMany) {
+  // 1 second behind with a 20ms SLO.
+  const Request req = MakeRequest(0.02, 0.0, 2);
+  const double a = MinAcceptedForSlo(req, 1.0, 0.04);
+  EXPECT_GT(a, 40.0);
+}
+
+TEST(SloAccounting, TighterSloNeedsMore) {
+  const Request tight = MakeRequest(0.02, 0.0, 3);
+  const Request loose = MakeRequest(0.15, 0.0, 3);
+  const double now = 0.2;
+  const double t_spec = 0.04;
+  EXPECT_GT(MinAcceptedForSlo(tight, now, t_spec), MinAcceptedForSlo(loose, now, t_spec));
+}
+
+TEST(SloAccounting, LongerIterationNeedsMore) {
+  const Request req = MakeRequest(0.05, 0.0, 3);
+  EXPECT_GT(MinAcceptedForSlo(req, 0.1, 0.08), MinAcceptedForSlo(req, 0.1, 0.02));
+}
+
+TEST(SloAccounting, CapRequirementClampsAtDepthPlusOne) {
+  EXPECT_EQ(CapRequirement(10.0, 3), 4.0);
+  EXPECT_EQ(CapRequirement(2.5, 3), 2.5);
+  EXPECT_EQ(CapRequirement(-1.0, 3), -1.0);
+}
+
+TEST(Adaptive, MatchesEquations) {
+  // d = clip(Dmax, Dmin, floor(B1/(n+c1)) - 1), w = clip(Wmax, 1, floor(B2/n)+c2)
+  AdaptiveConfig config;
+  config.d_min = 1;
+  config.d_max = 8;
+  config.w_max = 4;
+  config.c1 = 1.0;
+  config.c2 = 0.0;
+  const BeamConfig beam = AdaptSpecParams(/*n=*/9, /*B1=*/100, /*B2=*/36, config);
+  EXPECT_EQ(beam.depth, 8);  // floor(100/10) - 1 = 9 -> clipped to 8
+  EXPECT_EQ(beam.width, 4);  // floor(36/9) = 4
+}
+
+TEST(Adaptive, DepthShrinksWithLoad) {
+  AdaptiveConfig config;
+  int prev_depth = 100;
+  for (int n : {1, 4, 16, 64, 128}) {
+    const BeamConfig beam = AdaptSpecParams(n, 128, 256, config);
+    EXPECT_LE(beam.depth, prev_depth);
+    prev_depth = beam.depth;
+  }
+}
+
+TEST(Adaptive, WidthShrinksWithLoad) {
+  AdaptiveConfig config;
+  int prev_width = 100;
+  for (int n : {1, 8, 64, 512}) {
+    const BeamConfig beam = AdaptSpecParams(n, 128, 256, config);
+    EXPECT_LE(beam.width, prev_width);
+    prev_width = beam.width;
+  }
+}
+
+TEST(Adaptive, RespectsBounds) {
+  AdaptiveConfig config;
+  config.d_min = 2;
+  config.d_max = 5;
+  config.w_max = 3;
+  // Extreme load: clipped to lower bounds.
+  BeamConfig beam = AdaptSpecParams(10000, 16, 16, config);
+  EXPECT_EQ(beam.depth, 2);
+  EXPECT_EQ(beam.width, 1);
+  // No load: clipped to upper bounds.
+  beam = AdaptSpecParams(1, 10000, 10000, config);
+  EXPECT_EQ(beam.depth, 5);
+  EXPECT_EQ(beam.width, 3);
+}
+
+TEST(Adaptive, C2ShiftsWidth) {
+  AdaptiveConfig base;
+  AdaptiveConfig shifted = base;
+  shifted.c2 = 1.0;
+  shifted.w_max = 100;
+  base.w_max = 100;
+  const BeamConfig a = AdaptSpecParams(8, 128, 64, base);
+  const BeamConfig b = AdaptSpecParams(8, 128, 64, shifted);
+  EXPECT_EQ(b.width, a.width + 1);
+}
+
+}  // namespace
+}  // namespace adaserve

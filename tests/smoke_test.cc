@@ -1,0 +1,23 @@
+// End-to-end smoke: every system serves a small workload to completion.
+#include <gtest/gtest.h>
+
+#include "src/adaserve.h"
+
+namespace adaserve {
+namespace {
+
+TEST(Smoke, AllSystemsServeASmallWorkload) {
+  Experiment exp(LlamaSetup());
+  std::vector<Request> workload = exp.RealTraceWorkload(/*duration=*/10.0, /*mean_rps=*/2.0);
+  ASSERT_GT(workload.size(), 0u);
+  for (SystemKind kind : MainComparisonSet()) {
+    auto scheduler = MakeScheduler(kind);
+    const EngineResult result = exp.Run(*scheduler, workload);
+    EXPECT_EQ(result.metrics.finished, static_cast<int>(workload.size()))
+        << SystemName(kind) << " did not drain the workload";
+    EXPECT_GT(result.metrics.ThroughputTps(), 0.0) << SystemName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,77 @@
+#include "src/baselines/static_tree_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+class StaticTreeTest : public ::testing::Test {
+ protected:
+  StaticTreeTest() : exp_(TestSetup()) {}
+  Experiment exp_;
+};
+
+TEST_F(StaticTreeTest, TreeShapeFollowsBranching) {
+  const std::vector<Token> ctx = {1, 2, 3};
+  // (3, 2): 3 depth-1 nodes + 6 depth-2 nodes + root = 10.
+  const TokenTree tree = BuildStaticTree(exp_.draft(), 5, ctx, {3, 2});
+  EXPECT_EQ(tree.size(), 10);
+  EXPECT_EQ(tree.MaxDepth(), 2);
+  EXPECT_EQ(tree.node(kRootNode).children.size(), 3u);
+  for (NodeId child : tree.node(kRootNode).children) {
+    EXPECT_EQ(tree.node(child).children.size(), 2u);
+  }
+}
+
+TEST_F(StaticTreeTest, LevelOneTakesTopDraftTokens) {
+  const std::vector<Token> ctx = {4, 5};
+  const TokenTree tree = BuildStaticTree(exp_.draft(), 2, ctx, {2});
+  const SparseDist dist = exp_.draft().NextDist(2, ctx);
+  ASSERT_EQ(tree.node(kRootNode).children.size(), 2u);
+  EXPECT_EQ(tree.node(tree.node(kRootNode).children[0]).token, dist.entry(0).token);
+  EXPECT_EQ(tree.node(tree.node(kRootNode).children[1]).token, dist.entry(1).token);
+}
+
+TEST_F(StaticTreeTest, SchedulerNameEncodesShape) {
+  StaticTreeSpecScheduler scheduler(StaticTreeConfig{.branching = {4, 2, 1}});
+  EXPECT_EQ(scheduler.name(), "StaticTree(4x2x1)");
+}
+
+TEST_F(StaticTreeTest, DrainsWorkloadAndAcceptsTokens) {
+  StaticTreeSpecScheduler scheduler;
+  const std::vector<Request> workload = SmallMixedWorkload(exp_);
+  const EngineResult result = exp_.Run(scheduler, workload);
+  EXPECT_EQ(result.metrics.finished, static_cast<int>(workload.size()));
+  EXPECT_GT(result.metrics.mean_accepted, 0.0);
+}
+
+TEST_F(StaticTreeTest, GreedyOutputsMatchPlainDecoding) {
+  // Losslessness extends to the static-tree scheduler.
+  const std::vector<Request> workload = UniformWorkload(exp_, 3, kCatChat, 0.0);
+  EngineConfig config;
+  config.mode = DecodeMode::kGreedy;
+  StaticTreeSpecScheduler tree_scheduler;
+  VllmScheduler cb_scheduler;
+  const EngineResult a = exp_.Run(tree_scheduler, workload, config);
+  const EngineResult b = exp_.Run(cb_scheduler, workload, config);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].output, b.requests[i].output);
+  }
+}
+
+TEST_F(StaticTreeTest, WiderTreeAcceptsMoreThanChainOfSameDepth) {
+  // A (3,2) tree explores siblings a 1x1 chain misses: acceptance per
+  // verification must be at least as high on the same workload.
+  const std::vector<Request> workload = UniformWorkload(exp_, 4, kCatChat, 0.0);
+  StaticTreeSpecScheduler wide(StaticTreeConfig{.branching = {3, 2}});
+  StaticTreeSpecScheduler chain(StaticTreeConfig{.branching = {1, 1}});
+  const EngineResult w = exp_.Run(wide, workload);
+  const EngineResult c = exp_.Run(chain, workload);
+  EXPECT_GE(w.metrics.mean_accepted + 1e-9, c.metrics.mean_accepted);
+}
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,135 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaserve {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat s;
+  // 1..100: mean 50.5, population variance (n^2-1)/12 = 833.25.
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.Variance(), 833.25, 1e-9);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(833.25), 1e-9);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Samples, EmptyQueriesAreZero) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+}
+
+TEST(Samples, PercentileEndpoints) {
+  Samples s;
+  for (double x : {3.0, 1.0, 2.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.Percentile(0), 1.0);
+  EXPECT_EQ(s.Percentile(100), 3.0);
+  EXPECT_EQ(s.Percentile(50), 2.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_NEAR(s.Percentile(25), 2.5, 1e-12);
+  EXPECT_NEAR(s.Percentile(75), 7.5, 1e-12);
+}
+
+TEST(Samples, PercentileClampsOutOfRange) {
+  Samples s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_EQ(s.Percentile(-5), 1.0);
+  EXPECT_EQ(s.Percentile(200), 2.0);
+}
+
+TEST(Samples, SumMeanMinMax) {
+  Samples s;
+  for (int i = 1; i <= 4; ++i) {
+    s.Add(i);
+  }
+  EXPECT_EQ(s.Sum(), 10.0);
+  EXPECT_EQ(s.Mean(), 2.5);
+  EXPECT_EQ(s.Min(), 1.0);
+  EXPECT_EQ(s.Max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Histogram, BinsCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 9
+  h.Add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_NEAR(h.BinCenter(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.BinCenter(9), 9.5, 1e-12);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileSweep, MedianOfUniformGridIsCentre) {
+  const int n = GetParam();
+  Samples s;
+  for (int i = 0; i < n; ++i) {
+    s.Add(i);
+  }
+  EXPECT_NEAR(s.Percentile(50), (n - 1) / 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PercentileSweep, ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,108 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace adaserve {
+namespace {
+
+TEST(Trace, PoissonMeanRateClose) {
+  TraceConfig config;
+  config.duration = 2000.0;
+  config.mean_rps = 3.0;
+  const std::vector<SimTime> arrivals = PoissonArrivals(config);
+  EXPECT_NEAR(arrivals.size() / config.duration, 3.0, 0.15);
+}
+
+TEST(Trace, RealShapedMeanRateClose) {
+  TraceConfig config;
+  config.duration = 2000.0;
+  config.mean_rps = 4.0;
+  const std::vector<SimTime> arrivals = RealShapedArrivals(config);
+  EXPECT_NEAR(arrivals.size() / config.duration, 4.0, 0.2);
+}
+
+TEST(Trace, ArrivalsSortedAndInRange) {
+  TraceConfig config;
+  config.duration = 100.0;
+  config.mean_rps = 5.0;
+  const std::vector<SimTime> arrivals = RealShapedArrivals(config);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, config.duration);
+  }
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig config;
+  config.seed = 99;
+  const std::vector<SimTime> a = RealShapedArrivals(config);
+  const std::vector<SimTime> b = RealShapedArrivals(config);
+  EXPECT_EQ(a, b);
+  config.seed = 100;
+  EXPECT_NE(a, RealShapedArrivals(config));
+}
+
+TEST(Trace, EnvelopeHasBursts) {
+  // The Fig. 7 envelope must be non-uniform: its late burst (phase ~0.78)
+  // towers over the baseline.
+  EXPECT_GT(RealTraceEnvelope(0.78), 2.0 * RealTraceEnvelope(0.62));
+  EXPECT_GT(RealTraceEnvelope(0.15), 1.5 * RealTraceEnvelope(0.30));
+}
+
+TEST(Trace, EnvelopeMeanIsOrderOne) {
+  // The thinning sampler normalises by the numerically integrated mean, so
+  // the envelope only needs to be order-1 (it is ~1.3 with the Fig. 7
+  // burst heights).
+  double mean = 0.0;
+  constexpr int kSteps = 10000;
+  for (int i = 0; i < kSteps; ++i) {
+    mean += RealTraceEnvelope((i + 0.5) / kSteps);
+  }
+  mean /= kSteps;
+  EXPECT_GT(mean, 0.5);
+  EXPECT_LT(mean, 2.0);
+}
+
+TEST(Trace, BurstyArrivalsClusterAroundPeak) {
+  BurstSpec burst;
+  burst.base_rps = 0.2;
+  burst.peak_rps = 10.0;
+  burst.peak_phase = 0.5;
+  burst.peak_width = 0.05;
+  const double duration = 1000.0;
+  const std::vector<SimTime> arrivals = BurstyArrivals(burst, duration, 7);
+  int near_peak = 0;
+  for (SimTime t : arrivals) {
+    if (std::abs(t / duration - 0.5) < 0.15) {
+      ++near_peak;
+    }
+  }
+  // The burst region (30% of the window) should hold most arrivals.
+  EXPECT_GT(near_peak, static_cast<int>(arrivals.size() * 0.5));
+}
+
+TEST(Trace, BurstyBaseOnlyWhenPeakEqualsBase) {
+  BurstSpec burst;
+  burst.base_rps = 2.0;
+  burst.peak_rps = 2.0;
+  const std::vector<SimTime> arrivals = BurstyArrivals(burst, 1000.0, 3);
+  EXPECT_NEAR(arrivals.size() / 1000.0, 2.0, 0.2);
+}
+
+class RpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RpsSweep, RescalingTracksTarget) {
+  TraceConfig config;
+  config.duration = 1500.0;
+  config.mean_rps = GetParam();
+  const std::vector<SimTime> arrivals = RealShapedArrivals(config);
+  EXPECT_NEAR(arrivals.size() / config.duration, GetParam(), GetParam() * 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RpsSweep, ::testing::Values(0.5, 1.0, 2.6, 4.8, 10.0));
+
+}  // namespace
+}  // namespace adaserve

@@ -1,0 +1,187 @@
+#include "src/spec/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/model/draft_lm.h"
+#include "src/spec/beam_search.h"
+
+namespace adaserve {
+namespace {
+
+LmConfig TestLmConfig(uint64_t seed = 21) {
+  LmConfig config;
+  config.vocab_size = 200;
+  config.support = 5;
+  config.context_order = 2;
+  config.zipf_exponent = 1.5;
+  config.seed = seed;
+  return config;
+}
+
+struct Models {
+  SyntheticLm target;
+  DraftLm draft;
+  explicit Models(double fidelity = 0.9)
+      : target(TestLmConfig()), draft(&target, DraftConfig{.fidelity = fidelity}) {}
+};
+
+TEST(Verifier, GreedyAcceptsExactlyTheArgmaxChain) {
+  Models m;
+  std::vector<Token> ctx = {1, 2};
+  // Build the target's own greedy chain as the draft tree: greedy
+  // verification must accept all of it.
+  TokenTree tree(ctx.back());
+  std::vector<Token> walk = ctx;
+  NodeId cur = kRootNode;
+  for (int i = 0; i < 4; ++i) {
+    const Token t = m.target.NextDist(3, walk).ArgMax();
+    cur = tree.AddNode(cur, t, 0.9);
+    walk.push_back(t);
+  }
+  Rng rng(1);
+  const VerifyResult result = VerifyTree(m.target, 3, ctx, tree, {}, DecodeMode::kGreedy, rng);
+  EXPECT_EQ(result.accepted.size(), 4u);
+  EXPECT_EQ(result.TokensCommitted(), 5);
+  // The bonus continues the argmax chain.
+  EXPECT_EQ(result.bonus, m.target.NextDist(3, walk).ArgMax());
+}
+
+TEST(Verifier, GreedyRejectsWrongToken) {
+  Models m;
+  const std::vector<Token> ctx = {1, 2};
+  const Token correct = m.target.NextDist(3, ctx).ArgMax();
+  TokenTree tree(ctx.back());
+  tree.AddNode(kRootNode, correct + 1, 0.9);  // deliberately wrong
+  Rng rng(1);
+  const VerifyResult result = VerifyTree(m.target, 3, ctx, tree, {}, DecodeMode::kGreedy, rng);
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.bonus, correct);
+  EXPECT_EQ(result.TokensCommitted(), 1);
+}
+
+TEST(Verifier, SelectionMaskRestrictsMatching) {
+  Models m;
+  const std::vector<Token> ctx = {1, 2};
+  const Token correct = m.target.NextDist(3, ctx).ArgMax();
+  TokenTree tree(ctx.back());
+  const NodeId child = tree.AddNode(kRootNode, correct, 0.9);
+  std::vector<char> selected(static_cast<size_t>(tree.size()), 0);
+  selected[kRootNode] = 1;
+  // Child not selected: even a correct token cannot be accepted.
+  Rng rng(1);
+  VerifyResult result = VerifyTree(m.target, 3, ctx, tree, selected, DecodeMode::kGreedy, rng);
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.tokens_verified, 0);
+  selected[static_cast<size_t>(child)] = 1;
+  result = VerifyTree(m.target, 3, ctx, tree, selected, DecodeMode::kGreedy, rng);
+  EXPECT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.tokens_verified, 1);
+}
+
+TEST(Verifier, BonusAlwaysPresent) {
+  Models m;
+  const std::vector<Token> ctx = {9};
+  const TokenTree tree(ctx.back());  // no speculated tokens at all
+  Rng rng(1);
+  const VerifyResult result =
+      VerifyTree(m.target, 3, ctx, tree, {}, DecodeMode::kStochastic, rng);
+  EXPECT_NE(result.bonus, kInvalidToken);
+  EXPECT_EQ(result.TokensCommitted(), 1);
+}
+
+TEST(Verifier, DecodeOneTokenMatchesTargetArgmaxInGreedy) {
+  Models m;
+  const std::vector<Token> ctx = {4, 4};
+  Rng rng(1);
+  EXPECT_EQ(DecodeOneToken(m.target, 2, ctx, DecodeMode::kGreedy, rng),
+            m.target.NextDist(2, ctx).ArgMax());
+}
+
+// Losslessness (§2, DESIGN.md §4.2): the distribution of the next committed
+// token under tree speculation equals the target distribution, because the
+// verifier draws from the target at every node. Chi-square over many trials.
+TEST(Verifier, LosslessnessFirstCommittedTokenDistribution) {
+  Models m(/*fidelity=*/0.6);  // a mediocre draft must not bias outputs
+  const std::vector<Token> ctx = {3, 7};
+  const SparseDist target_dist = m.target.NextDist(5, ctx);
+  const TokenTree tree = BuildCandidateTree(m.draft, 5, ctx, BeamConfig{.depth = 3, .width = 3});
+  Rng rng(1234);
+  std::map<Token, int> counts;
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    const VerifyResult result =
+        VerifyTree(m.target, 5, ctx, tree, {}, DecodeMode::kStochastic, rng);
+    const Token first = result.accepted.empty() ? result.bonus : result.accepted.front();
+    ++counts[first];
+  }
+  double chi2 = 0.0;
+  for (const auto& e : target_dist.entries()) {
+    const double expected = e.prob * kTrials;
+    const double observed = counts[e.token];
+    chi2 += (observed - expected) * (observed - expected) / expected;
+  }
+  // Support is 5 tokens => 4 dof; 99.9th percentile ~ 18.5. Use 30 to be
+  // flake-proof while still catching bias.
+  EXPECT_LT(chi2, 30.0);
+}
+
+// Theorem 3.1: E[acc(T)] = sum of true path probabilities f(v) over the
+// tree, where f(v) is the product of target conditionals. Monte Carlo.
+TEST(Verifier, ExpectedAcceptedMatchesSumOfPathProbs) {
+  Models m;
+  const std::vector<Token> ctx = {2, 8};
+  const TokenTree tree = BuildCandidateTree(m.draft, 6, ctx, BeamConfig{.depth = 3, .width = 3});
+  // True f(v) from the target model.
+  double expected_sum = 0.0;
+  for (NodeId id = 1; id < tree.size(); ++id) {
+    std::vector<Token> walk = ctx;
+    double f = 1.0;
+    for (Token tok : tree.PathTokens(id)) {
+      f *= m.target.NextDist(6, walk).ProbOf(tok);
+      walk.push_back(tok);
+    }
+    expected_sum += f;
+  }
+  Rng rng(555);
+  double acc_sum = 0.0;
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    acc_sum += static_cast<double>(
+        VerifyTree(m.target, 6, ctx, tree, {}, DecodeMode::kStochastic, rng).accepted.size());
+  }
+  EXPECT_NEAR(acc_sum / kTrials, expected_sum, 0.05);
+}
+
+// Acceptance monotonicity: better drafts yield (weakly) more acceptance.
+class FidelityAcceptanceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FidelityAcceptanceSweep, HigherFidelityAcceptsMore) {
+  Models good(0.95);
+  Models poor(0.2);
+  const std::vector<Token> ctx = {static_cast<Token>(GetParam()), 1};
+  const TokenTree good_tree =
+      BuildCandidateTree(good.draft, GetParam(), ctx, BeamConfig{.depth = 4, .width = 2});
+  const TokenTree poor_tree =
+      BuildCandidateTree(poor.draft, GetParam(), ctx, BeamConfig{.depth = 4, .width = 2});
+  Rng rng(GetParam() + 1);
+  double good_acc = 0.0;
+  double poor_acc = 0.0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    good_acc += static_cast<double>(
+        VerifyTree(good.target, GetParam(), ctx, good_tree, {}, DecodeMode::kStochastic, rng)
+            .accepted.size());
+    poor_acc += static_cast<double>(
+        VerifyTree(poor.target, GetParam(), ctx, poor_tree, {}, DecodeMode::kStochastic, rng)
+            .accepted.size());
+  }
+  EXPECT_GE(good_acc, poor_acc) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FidelityAcceptanceSweep, ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace adaserve
