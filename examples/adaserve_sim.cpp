@@ -5,9 +5,7 @@
 // post-processing (per-run metrics, per-request records, per-iteration
 // breakdown).
 //
-//   ./build/examples/adaserve_sim --system=adaserve --model=llama \
-//       --rps=4.0 --duration=40 --mix=0.6,0.2,0.2 \
-//       --requests-csv=requests.csv --iterations-csv=iterations.csv
+//   ./build/adaserve_sim --system=adaserve --model=llama --rps=4.0 --duration=40 --mix=0.6,0.2,0.2 --requests-csv=requests.csv --iterations-csv=iterations.csv
 #include <cstdio>
 #include <cstring>
 #include <fstream>

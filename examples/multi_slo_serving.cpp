@@ -5,7 +5,7 @@
 // attainment, goodput and speculation statistics side by side — a miniature
 // Figure 8/9 you can run in seconds.
 //
-//   ./build/examples/multi_slo_serving [rps]
+//   ./build/multi_slo_serving [rps]
 #include <cstdlib>
 #include <iostream>
 

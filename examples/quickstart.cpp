@@ -3,7 +3,7 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 #include <iostream>
 
 #include "src/adaserve.h"

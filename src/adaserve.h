@@ -24,6 +24,7 @@
 #include "src/core/slo_accounting.h"
 #include "src/harness/comparisons.h"
 #include "src/harness/experiment.h"
+#include "src/harness/golden.h"
 #include "src/harness/report.h"
 #include "src/harness/table_printer.h"
 #include "src/hw/budget.h"

@@ -40,7 +40,8 @@ StaticTreeSpecScheduler::StaticTreeSpecScheduler(const StaticTreeConfig& config)
   for (int k : config_.branching) {
     level_width *= k;
     tokens_per_tree_ += level_width;
-    shape += (shape.empty() ? "" : "x") + std::to_string(k);
+    if (!shape.empty()) shape += 'x';
+    shape += std::to_string(k);
   }
   name_ = "StaticTree(" + shape + ")";
 }

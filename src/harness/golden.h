@@ -1,0 +1,52 @@
+// Golden-metrics regression harness.
+//
+// Pins down the end-of-run metrics of every system in MainComparisonSet()
+// on a fixed-seed workload as canonical text, so scheduler/engine refactors
+// can be proven regression-free by diffing against checked-in baselines
+// (tests/golden/*.txt). Regenerate with `golden_test --update_golden`.
+#ifndef ADASERVE_SRC_HARNESS_GOLDEN_H_
+#define ADASERVE_SRC_HARNESS_GOLDEN_H_
+
+#include <string>
+
+#include "src/harness/comparisons.h"
+#include "src/harness/experiment.h"
+
+namespace adaserve {
+
+// The fixed-seed workload every golden run uses. Small enough that a full
+// MainComparisonSet() sweep stays in unit-test time, large enough that all
+// three categories and the speculation path are exercised.
+struct GoldenConfig {
+  double duration_s = 8.0;
+  double mean_rps = 3.0;
+  uint64_t trace_seed = 42;
+  uint64_t sampling_seed = 1234;
+};
+
+// The compact Qwen-32B setup shared by the golden runs (mirrors
+// tests/test_util.h TestSetup so goldens track the unit-test path).
+Setup GoldenSetup();
+
+// Runs `kind` on the canonical workload and returns its result.
+EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind,
+                             const GoldenConfig& config = {});
+
+// Serializes the regression-relevant metrics (finished count, throughput,
+// SLO attainment, goodput, acceptance rate, per-category breakdown) to a
+// canonical `key: value` text block with fixed-precision formatting.
+std::string GoldenMetricsText(SystemKind kind, const Metrics& metrics);
+
+// Filesystem-safe slug for a system's baseline file, e.g.
+// "vLLM-Spec(4)" -> "vllm_spec_4". The baseline lives at
+// <golden_dir>/<slug>.txt.
+std::string GoldenFileSlug(SystemKind kind);
+
+// Whole-file read/write helpers for the baselines. Read returns false if
+// the file does not exist or cannot be opened.
+bool ReadGoldenFile(const std::string& path, std::string* contents);
+bool WriteGoldenFile(const std::string& path, const std::string& contents);
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_HARNESS_GOLDEN_H_

@@ -1,0 +1,79 @@
+// Golden-metrics regression test: every system in MainComparisonSet() runs
+// the canonical fixed-seed workload and its key metrics must byte-match the
+// checked-in baseline under tests/golden/.
+//
+// Regenerate baselines after an intentional behavior change with:
+//   ./golden_test --update_golden
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/harness/golden.h"
+
+#ifndef ADASERVE_GOLDEN_DIR
+#define ADASERVE_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace adaserve {
+namespace {
+
+bool g_update_golden = false;
+
+std::string GoldenPath(SystemKind kind) {
+  return std::string(ADASERVE_GOLDEN_DIR) + "/" + GoldenFileSlug(kind) + ".txt";
+}
+
+class GoldenTest : public testing::TestWithParam<SystemKind> {
+ protected:
+  // One experiment shared across all parameterized cases: building the
+  // synthetic LM pair dominates setup cost.
+  static void SetUpTestSuite() { exp_ = new Experiment(GoldenSetup()); }
+  static void TearDownTestSuite() {
+    delete exp_;
+    exp_ = nullptr;
+  }
+  static Experiment* exp_;
+};
+
+Experiment* GoldenTest::exp_ = nullptr;
+
+TEST_P(GoldenTest, MetricsMatchBaseline) {
+  const SystemKind kind = GetParam();
+  const EngineResult result = RunGoldenSystem(*exp_, kind);
+  ASSERT_GT(result.metrics.finished, 0) << SystemName(kind) << " finished nothing";
+  const std::string actual = GoldenMetricsText(kind, result.metrics);
+  const std::string path = GoldenPath(kind);
+
+  if (g_update_golden) {
+    ASSERT_TRUE(WriteGoldenFile(path, actual)) << "cannot write " << path;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  std::string expected;
+  ASSERT_TRUE(ReadGoldenFile(path, &expected))
+      << "missing baseline " << path << "; run `golden_test --update_golden` to create it";
+  EXPECT_EQ(expected, actual)
+      << "golden metrics changed for " << SystemName(kind)
+      << "; if intentional, regenerate with `golden_test --update_golden`";
+}
+
+std::string ParamName(const testing::TestParamInfo<SystemKind>& info) {
+  return GoldenFileSlug(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(MainComparison, GoldenTest,
+                         testing::ValuesIn(MainComparisonSet()), ParamName);
+
+}  // namespace
+}  // namespace adaserve
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update_golden") == 0) {
+      adaserve::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -9,13 +9,9 @@
 namespace adaserve {
 
 // A compact setup (Qwen-32B profile, low-entropy LM) that runs fast in unit
-// tests while exercising the same code paths as the benches.
-inline Setup TestSetup() {
-  Setup setup = QwenSetup();
-  setup.lm_config.vocab_size = 2000;
-  setup.lm_config.support = 8;
-  return setup;
-}
+// tests while exercising the same code paths as the benches. Shared with the
+// golden harness so the baselines track the unit-test path by construction.
+inline Setup TestSetup() { return GoldenSetup(); }
 
 // A small deterministic workload: `n` requests with the given category,
 // arriving uniformly over [0, spread_s].
