@@ -44,6 +44,7 @@
 #include "src/spec/sequence_spec.h"
 #include "src/spec/token_tree.h"
 #include "src/spec/verifier.h"
+#include "src/workload/arrival_stream.h"
 #include "src/workload/categories.h"
 #include "src/workload/generator.h"
 #include "src/workload/request.h"

@@ -70,4 +70,19 @@ std::vector<SystemKind> MotivationSet() {
           SystemKind::kFastServe, SystemKind::kVtc};
 }
 
+std::vector<ComparisonPoint> RunComparison(const Experiment& exp,
+                                           const std::vector<SystemKind>& systems,
+                                           const StreamFactory& make_stream,
+                                           const EngineConfig& engine) {
+  std::vector<ComparisonPoint> points;
+  points.reserve(systems.size());
+  for (SystemKind kind : systems) {
+    auto scheduler = MakeScheduler(kind);
+    auto stream = make_stream();
+    ADASERVE_CHECK(stream != nullptr) << "stream factory returned null";
+    points.push_back({kind, exp.Run(*scheduler, *stream, engine)});
+  }
+  return points;
+}
+
 }  // namespace adaserve

@@ -2,10 +2,12 @@
 #ifndef ADASERVE_SRC_HARNESS_COMPARISONS_H_
 #define ADASERVE_SRC_HARNESS_COMPARISONS_H_
 
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
 
+#include "src/harness/experiment.h"
 #include "src/serve/scheduler.h"
 
 namespace adaserve {
@@ -32,6 +34,23 @@ std::vector<SystemKind> MainComparisonSet();
 // Systems of the motivation study (Fig. 1): vLLM, vLLM+chunked-prefill
 // (Sarathi), vLLM+Priority, FastServe, VTC.
 std::vector<SystemKind> MotivationSet();
+
+// Builds a fresh arrival stream for one run. Streams are single-pass, so
+// multi-system comparisons need one instance per system; a factory keeps
+// every run fed from an identical (same-seed) stream.
+using StreamFactory = std::function<std::unique_ptr<ArrivalStream>()>;
+
+struct ComparisonPoint {
+  SystemKind kind;
+  EngineResult result;
+};
+
+// Runs every system in `systems` over its own identical stream from
+// `make_stream`, feeding the engine lazily.
+std::vector<ComparisonPoint> RunComparison(const Experiment& exp,
+                                           const std::vector<SystemKind>& systems,
+                                           const StreamFactory& make_stream,
+                                           const EngineConfig& engine = {});
 
 }  // namespace adaserve
 

@@ -62,11 +62,30 @@ std::vector<Request> Experiment::RealTraceWorkload(double duration, double mean_
   return BuildWorkload(Categories(cat), RealShapedArrivals(trace), mix);
 }
 
+std::unique_ptr<ArrivalStream> Experiment::RealTraceStream(double duration, double mean_rps,
+                                                           const WorkloadConfig& mix,
+                                                           uint64_t trace_seed,
+                                                           const CategoryConfig& cat) const {
+  RealTraceStreamConfig config;
+  config.trace.duration = duration;
+  config.trace.mean_rps = mean_rps;
+  config.trace.seed = trace_seed;
+  config.workload = mix;
+  return MakeRealTraceStream(Categories(cat), config);
+}
+
 EngineResult Experiment::Run(Scheduler& scheduler, std::vector<Request> requests,
                              const EngineConfig& engine, int verify_budget,
                              int draft_budget) const {
   Engine e(&target_, &draft_, &target_latency_, &draft_latency_, engine);
   return e.Run(scheduler, std::move(requests), verify_budget, draft_budget);
+}
+
+EngineResult Experiment::Run(Scheduler& scheduler, ArrivalStream& stream,
+                             const EngineConfig& engine, int verify_budget,
+                             int draft_budget) const {
+  Engine e(&target_, &draft_, &target_latency_, &draft_latency_, engine);
+  return e.Run(scheduler, stream, verify_budget, draft_budget);
 }
 
 }  // namespace adaserve

@@ -4,6 +4,7 @@
 #ifndef ADASERVE_SRC_HARNESS_EXPERIMENT_H_
 #define ADASERVE_SRC_HARNESS_EXPERIMENT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,10 +53,22 @@ class Experiment {
                                          uint64_t trace_seed = 42,
                                          const CategoryConfig& cat = {}) const;
 
+  // Lazy counterpart of RealTraceWorkload: draining the stream reproduces
+  // the vector exactly, but the engine can consume it without materializing.
+  std::unique_ptr<ArrivalStream> RealTraceStream(double duration, double mean_rps,
+                                                 const WorkloadConfig& mix = {},
+                                                 uint64_t trace_seed = 42,
+                                                 const CategoryConfig& cat = {}) const;
+
   // Runs one scheduler over a workload and returns metrics + iteration log.
   EngineResult Run(Scheduler& scheduler, std::vector<Request> requests,
                    const EngineConfig& engine = {}, int verify_budget = 0,
                    int draft_budget = 0) const;
+
+  // Runs one scheduler over a lazy arrival stream (streams are single-pass;
+  // build a fresh one per run).
+  EngineResult Run(Scheduler& scheduler, ArrivalStream& stream, const EngineConfig& engine = {},
+                   int verify_budget = 0, int draft_budget = 0) const;
 
  private:
   Setup setup_;

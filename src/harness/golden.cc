@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "src/common/logging.h"
 #include "src/workload/categories.h"
 
 namespace adaserve {
@@ -27,14 +29,65 @@ Setup GoldenSetup() {
   return setup;
 }
 
-EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind,
-                             const GoldenConfig& config) {
-  std::vector<Request> workload = exp.RealTraceWorkload(
-      config.duration_s, config.mean_rps, WorkloadConfig{}, config.trace_seed);
+std::string GoldenScenarioPrefix(GoldenScenario scenario) {
+  switch (scenario) {
+    case GoldenScenario::kRealTrace:
+      return "";
+    case GoldenScenario::kBursty:
+      return "bursty_";
+    case GoldenScenario::kDiurnal:
+      return "diurnal_";
+  }
+  return "";
+}
+
+std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenScenario scenario,
+                                                const GoldenConfig& config) {
+  switch (scenario) {
+    case GoldenScenario::kBursty: {
+      // ON/OFF MMPP: quiet 1 rps baseline with ~1 s bursts at 8 rps, mean
+      // rate comparable to the real-trace golden so runtimes match.
+      MmppStreamConfig bursty;
+      bursty.mmpp.state_rps = {1.0, 8.0};
+      bursty.mmpp.mean_sojourn_s = {2.0, 1.0};
+      bursty.duration = config.duration_s;
+      bursty.trace_seed = config.trace_seed;
+      return MakeMmppStream(exp.Categories(), bursty);
+    }
+    case GoldenScenario::kDiurnal: {
+      // One compressed "day" per run: the peak lands mid-trace and the
+      // trough bottoms out at 20% of the mean rate.
+      DiurnalStreamConfig diurnal;
+      diurnal.diurnal.period_s = config.duration_s;
+      diurnal.diurnal.peak_phase = 0.55;
+      diurnal.diurnal.amplitude = 0.8;
+      diurnal.duration = config.duration_s;
+      diurnal.mean_rps = config.mean_rps;
+      diurnal.trace_seed = config.trace_seed;
+      return MakeDiurnalStream(exp.Categories(), diurnal);
+    }
+    case GoldenScenario::kRealTrace:
+      break;
+  }
+  ADASERVE_CHECK(false) << "kRealTrace uses the vector path, not a stream";
+  return nullptr;
+}
+
+EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind, const GoldenConfig& config,
+                             GoldenScenario scenario) {
   auto scheduler = MakeScheduler(kind);
   EngineConfig engine;
   engine.sampling_seed = config.sampling_seed;
-  return exp.Run(*scheduler, std::move(workload), engine);
+  if (scenario == GoldenScenario::kRealTrace) {
+    std::vector<Request> workload = exp.RealTraceWorkload(
+        config.duration_s, config.mean_rps, WorkloadConfig{}, config.trace_seed);
+    return exp.Run(*scheduler, std::move(workload), engine);
+  }
+  // Streaming scenarios exercise the full lazy path: bounded arrival
+  // horizon, incremental metrics, finished-request retirement.
+  engine.retire_finished = true;
+  auto stream = MakeGoldenStream(exp, scenario, config);
+  return exp.Run(*scheduler, *stream, engine);
 }
 
 std::string GoldenMetricsText(SystemKind kind, const Metrics& metrics) {

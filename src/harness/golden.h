@@ -28,9 +28,29 @@ struct GoldenConfig {
 // tests/test_util.h TestSetup so goldens track the unit-test path).
 Setup GoldenSetup();
 
-// Runs `kind` on the canonical workload and returns its result.
+// Workloads pinned by golden baselines. kRealTrace is the original Fig. 7
+// vector path; kBursty (MMPP stream) and kDiurnal (time-of-day stream) run
+// through the lazy streaming engine with finished-request retirement, so
+// the baselines also pin the streaming admission/metrics path.
+enum class GoldenScenario {
+  kRealTrace,
+  kBursty,
+  kDiurnal,
+};
+
+// Baseline filename prefix: "", "bursty_", "diurnal_".
+std::string GoldenScenarioPrefix(GoldenScenario scenario);
+
+// Builds the canonical fixed-seed stream for a streaming scenario
+// (kBursty/kDiurnal only).
+std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenScenario scenario,
+                                                const GoldenConfig& config = {});
+
+// Runs `kind` on the canonical workload of `scenario` and returns its
+// result.
 EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind,
-                             const GoldenConfig& config = {});
+                             const GoldenConfig& config = {},
+                             GoldenScenario scenario = GoldenScenario::kRealTrace);
 
 // Serializes the regression-relevant metrics (finished count, throughput,
 // SLO attainment, goodput, acceptance rate, per-category breakdown) to a

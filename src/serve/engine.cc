@@ -1,6 +1,7 @@
 #include "src/serve/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -16,18 +17,14 @@ Engine::Engine(const SyntheticLm* target, const DraftLm* draft, const LatencyMod
   ADASERVE_CHECK(target_ != nullptr && draft_ != nullptr) << "engine needs both models";
   ADASERVE_CHECK(target_latency_ != nullptr && draft_latency_ != nullptr)
       << "engine needs both latency models";
+  ADASERVE_CHECK(config_.arrival_horizon >= 0) << "negative arrival horizon";
 }
 
-EngineResult Engine::Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget,
+EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify_budget,
                          int draft_budget) {
-  ADASERVE_CHECK(std::is_sorted(requests.begin(), requests.end(),
-                                [](const Request& a, const Request& b) {
-                                  return a.arrival < b.arrival;
-                                }))
-      << "requests must be sorted by arrival";
-
   KvCache kv(target_latency_->KvCacheBytes(), target_latency_->model().KvBytesPerToken());
   RequestPool pool(&kv);
+  pool.set_release_payload_on_finish(config_.retire_finished);
   Rng rng(config_.sampling_seed);
 
   ServingContext ctx;
@@ -41,37 +38,73 @@ EngineResult Engine::Run(Scheduler& scheduler, std::vector<Request> requests, in
       draft_budget > 0 ? draft_budget : DeriveDraftBudget(*target_latency_, *draft_latency_);
   ctx.rng = &rng;
 
+  // Pull until this many requests sit in the admission queue: admission can
+  // consume at most max_active_requests per iteration, so holding that many
+  // plus the horizon makes lazy injection indistinguishable from the old
+  // inject-everything-due loop.
+  const size_t pull_target = static_cast<size_t>(config_.max_active_requests) +
+                             static_cast<size_t>(config_.arrival_horizon);
+  MetricsAccumulator acc;
+  auto retire_sink = [&acc](const Request& req) { acc.AddRequest(req); };
+
   EngineResult result;
   SimTime now = 0.0;
-  size_t next_arrival = 0;
+  SimTime last_arrival = 0.0;
   long iterations = 0;
-  while (pool.finished_count() < requests.size()) {
+  while (!stream.Exhausted() || pool.HasWork()) {
     ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
-    // Inject all arrivals at or before `now`.
-    while (next_arrival < requests.size() && requests[next_arrival].arrival <= now) {
-      pool.AddArrival(requests[next_arrival]);
-      ++next_arrival;
+    // Pull all arrivals at or before `now`, up to the horizon.
+    while (!stream.Exhausted() && stream.Peek()->arrival <= now &&
+           pool.queued().size() < pull_target) {
+      Request req = stream.Next();
+      ADASERVE_CHECK(req.arrival >= last_arrival)
+          << "stream arrivals must be nondecreasing; got " << req.arrival << " after "
+          << last_arrival;
+      last_arrival = req.arrival;
+      pool.AddArrival(req);
     }
     // Admission is uniform across systems: FIFO while KV and slots allow.
     pool.AdmitUpTo(config_.max_active_requests);
+    result.peak_resident_requests = std::max(result.peak_resident_requests, pool.resident_count());
     if (pool.active().empty()) {
       // Nothing admitted. Either the queue is empty (idle until the next
       // arrival) or admission is blocked, which cannot happen with an empty
       // active set given worst-case reservations.
       ADASERVE_CHECK(pool.queued().empty()) << "admission deadlock";
-      ADASERVE_CHECK(next_arrival < requests.size()) << "engine stalled with no work";
-      now = requests[next_arrival].arrival;
+      ADASERVE_CHECK(!stream.Exhausted()) << "engine stalled with no work";
+      now = stream.Peek()->arrival;
       continue;
     }
     const IterationRecord record = scheduler.Step(now, pool, ctx);
     ADASERVE_CHECK(record.duration > 0.0) << scheduler.name() << " made no progress";
     now += record.duration;
-    result.iterations.push_back(record);
+    acc.AddIteration(record);
+    if (config_.record_iterations) {
+      result.iterations.push_back(record);
+    }
+    if (config_.retire_finished) {
+      pool.RetireFinishedPrefix(retire_sink);
+    }
   }
   result.end_time = now;
-  result.metrics = ComputeMetrics(pool.requests(), result.iterations, now);
-  result.requests = pool.requests();
+  result.total_iterations = iterations;
+  if (config_.retire_finished) {
+    pool.RetireFinishedPrefix(retire_sink);
+    ADASERVE_CHECK(pool.resident_count() == 0) << "undrained pool at end of run";
+  } else {
+    for (const Request& req : pool.requests()) {
+      acc.AddRequest(req);
+    }
+    result.requests.assign(pool.requests().begin(), pool.requests().end());
+  }
+  result.metrics = acc.Finalize(now);
   return result;
+}
+
+EngineResult Engine::Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget,
+                         int draft_budget) {
+  MaterializedStream stream(std::move(requests));
+  return Run(scheduler, stream, verify_budget, draft_budget);
 }
 
 }  // namespace adaserve

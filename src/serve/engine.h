@@ -1,10 +1,20 @@
 // Discrete-event serving engine.
 //
-// The engine replays an arrival trace against a scheduler: it injects
-// arrivals whose time has come, asks the scheduler for one iteration,
-// advances the clock by the iteration's latency, and repeats until every
-// request finishes (the run drains). It is the execution-engine half of
-// Fig. 6 with GPU time supplied by the roofline model.
+// The engine replays an arrival trace against a scheduler: it pulls
+// arrivals whose time has come from an ArrivalStream, asks the scheduler
+// for one iteration, advances the clock by the iteration's latency, and
+// repeats until the stream is exhausted and every request finishes (the
+// run drains). It is the execution-engine half of Fig. 6 with GPU time
+// supplied by the roofline model.
+//
+// Arrivals are consumed lazily: at most max_active_requests +
+// arrival_horizon requests are pulled ahead of admission, so a
+// generator-backed stream serves million-request workloads with the
+// resident request count proportional to the active set, not the trace.
+// (End-of-run metrics still keep two scalar samples per finished request
+// for percentile queries — ~16 bytes each, the only per-request remnant.)
+// The classic vector overload wraps the trace in a MaterializedStream and
+// behaves exactly as before.
 #ifndef ADASERVE_SRC_SERVE_ENGINE_H_
 #define ADASERVE_SRC_SERVE_ENGINE_H_
 
@@ -13,6 +23,7 @@
 #include "src/hw/budget.h"
 #include "src/serve/metrics.h"
 #include "src/serve/scheduler.h"
+#include "src/workload/arrival_stream.h"
 
 namespace adaserve {
 
@@ -23,14 +34,35 @@ struct EngineConfig {
   long max_iterations = 50'000'000;
   uint64_t sampling_seed = 1234;
   DecodeMode mode = DecodeMode::kStochastic;
+  // Queued arrivals pulled from the stream beyond what admission can
+  // consume this iteration. Any value >= 0 yields identical scheduling
+  // (admission is FIFO and can admit at most max_active_requests per
+  // iteration); the horizon only bounds how much of a due burst is
+  // resident at once.
+  int arrival_horizon = 256;
+  // Keep the per-iteration log in EngineResult::iterations. Turn off for
+  // huge streaming runs; metrics aggregate the log either way.
+  bool record_iterations = true;
+  // Retire finished requests as the run progresses: their metrics are
+  // accumulated incrementally, their token payloads are freed at finish,
+  // and EngineResult::requests is left empty. Metrics are bit-identical
+  // to a non-retiring run.
+  bool retire_finished = false;
 };
 
 struct EngineResult {
   Metrics metrics;
+  // Per-iteration log; empty when EngineConfig::record_iterations is off.
   std::vector<IterationRecord> iterations;
   // Final per-request records (timestamps, outputs, speculation counters).
+  // Empty when EngineConfig::retire_finished is on.
   std::vector<Request> requests;
   SimTime end_time = 0.0;
+  // Iterations executed (valid even when the log is not recorded).
+  long total_iterations = 0;
+  // Peak number of requests resident in the pool at once — the O(active)
+  // memory guarantee for streaming runs.
+  size_t peak_resident_requests = 0;
 };
 
 class Engine {
@@ -39,9 +71,14 @@ class Engine {
   Engine(const SyntheticLm* target, const DraftLm* draft, const LatencyModel* target_latency,
          const LatencyModel* draft_latency, const EngineConfig& config = {});
 
-  // Serves `requests` (sorted by arrival) with `scheduler` until completion.
-  // `verify_budget`/`draft_budget` parameterise the ServingContext; pass 0
-  // to derive them from the roofline (DeriveTokenBudget).
+  // Serves requests pulled lazily from `stream` with `scheduler` until the
+  // stream is exhausted and the pool drains. `verify_budget`/`draft_budget`
+  // parameterise the ServingContext; pass 0 to derive them from the
+  // roofline (DeriveTokenBudget).
+  EngineResult Run(Scheduler& scheduler, ArrivalStream& stream, int verify_budget = 0,
+                   int draft_budget = 0);
+
+  // Serves `requests` (sorted by arrival) via a MaterializedStream.
   EngineResult Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget = 0,
                    int draft_budget = 0);
 

@@ -35,44 +35,70 @@ long Metrics::output_tokens() const {
   return sum;
 }
 
-Metrics ComputeMetrics(std::span<const Request> requests,
-                       std::span<const IterationRecord> iterations, SimTime makespan) {
-  Metrics m;
+void MetricsAccumulator::AddRequest(const Request& req) {
+  ADASERVE_CHECK(req.state == RequestState::kFinished)
+      << "metrics over unfinished request " << req.id;
+  ADASERVE_CHECK(req.category >= 0 && req.category < kNumCategories)
+      << "bad category " << req.category;
+  CategoryMetrics& cat = m_.per_category[static_cast<size_t>(req.category)];
+  ++cat.finished;
+  ++m_.finished;
+  cat.output_tokens += req.output_len();
+  cat.tpot_ms.Add(ToMs(req.AvgTpot()));
+  cat.ttft_ms.Add(ToMs(req.first_token_time - req.arrival));
+  if (req.Attained()) {
+    ++cat.attained;
+    ++m_.attained;
+    cat.attained_tokens += req.output_len();
+  }
+  if (req.verifications > 0) {
+    accepted_sum_ += req.MeanAccepted();
+    ++spec_requests_;
+  }
+}
+
+void MetricsAccumulator::AddIteration(const IterationRecord& rec) {
+  m_.spec_time += rec.spec_time;
+  m_.select_time += rec.select_time;
+  m_.verify_time += rec.verify_time;
+  m_.prefill_time += rec.prefill_time;
+  m_.total_time += rec.duration;
+}
+
+Metrics MetricsAccumulator::Finalize(SimTime makespan) const {
+  Metrics m = m_;
   m.makespan = makespan;
-  double accepted_sum = 0.0;
-  int spec_requests = 0;
-  for (const Request& req : requests) {
-    ADASERVE_CHECK(req.state == RequestState::kFinished)
-        << "metrics over unfinished request " << req.id;
-    ADASERVE_CHECK(req.category >= 0 && req.category < kNumCategories)
-        << "bad category " << req.category;
-    CategoryMetrics& cat = m.per_category[static_cast<size_t>(req.category)];
-    ++cat.finished;
-    ++m.finished;
-    cat.output_tokens += req.output_len();
-    cat.tpot_ms.Add(ToMs(req.AvgTpot()));
-    cat.ttft_ms.Add(ToMs(req.first_token_time - req.arrival));
-    if (req.Attained()) {
-      ++cat.attained;
-      ++m.attained;
-      cat.attained_tokens += req.output_len();
-    }
-    if (req.verifications > 0) {
-      accepted_sum += req.MeanAccepted();
-      ++spec_requests;
-    }
-  }
-  if (spec_requests > 0) {
-    m.mean_accepted = accepted_sum / spec_requests;
-  }
-  for (const IterationRecord& rec : iterations) {
-    m.spec_time += rec.spec_time;
-    m.select_time += rec.select_time;
-    m.verify_time += rec.verify_time;
-    m.prefill_time += rec.prefill_time;
-    m.total_time += rec.duration;
+  if (spec_requests_ > 0) {
+    m.mean_accepted = accepted_sum_ / spec_requests_;
   }
   return m;
+}
+
+namespace {
+
+template <typename RequestContainer>
+Metrics ComputeMetricsImpl(const RequestContainer& requests,
+                           std::span<const IterationRecord> iterations, SimTime makespan) {
+  MetricsAccumulator acc;
+  for (const Request& req : requests) {
+    acc.AddRequest(req);
+  }
+  for (const IterationRecord& rec : iterations) {
+    acc.AddIteration(rec);
+  }
+  return acc.Finalize(makespan);
+}
+
+}  // namespace
+
+Metrics ComputeMetrics(std::span<const Request> requests,
+                       std::span<const IterationRecord> iterations, SimTime makespan) {
+  return ComputeMetricsImpl(requests, iterations, makespan);
+}
+
+Metrics ComputeMetrics(const std::deque<Request>& requests,
+                       std::span<const IterationRecord> iterations, SimTime makespan) {
+  return ComputeMetricsImpl(requests, iterations, makespan);
 }
 
 }  // namespace adaserve

@@ -4,6 +4,7 @@
 #define ADASERVE_SRC_SERVE_METRICS_H_
 
 #include <array>
+#include <deque>
 #include <span>
 
 #include "src/common/stats.h"
@@ -60,8 +61,36 @@ struct Metrics {
   long output_tokens() const;
 };
 
+// Incremental metrics accumulation. The streaming engine feeds finished
+// requests as they retire and iteration records as they complete, so
+// metrics for a million-request run never need the full trace in memory.
+// Feeding the same requests/iterations in the same order as the batch
+// ComputeMetrics (requests in id order, iterations in execution order)
+// produces bit-identical results — both paths share this accumulator.
+class MetricsAccumulator {
+ public:
+  // `req` must be finished. Call in a deterministic order (the engine uses
+  // id order) — floating-point accumulation is order-sensitive.
+  void AddRequest(const Request& req);
+
+  void AddIteration(const IterationRecord& rec);
+
+  // Snapshot of the accumulated metrics with `makespan` applied. Callable
+  // once at end of run (or repeatedly; the accumulator is not consumed).
+  Metrics Finalize(SimTime makespan) const;
+
+ private:
+  Metrics m_;
+  double accepted_sum_ = 0.0;
+  int spec_requests_ = 0;
+};
+
 // Computes metrics over finished requests and the iteration log.
 Metrics ComputeMetrics(std::span<const Request> requests,
+                       std::span<const IterationRecord> iterations, SimTime makespan);
+
+// Deque overload (the request pool's resident storage).
+Metrics ComputeMetrics(const std::deque<Request>& requests,
                        std::span<const IterationRecord> iterations, SimTime makespan);
 
 }  // namespace adaserve

@@ -9,7 +9,7 @@ namespace adaserve {
 RequestPool::RequestPool(KvCache* kv) : kv_(kv) { ADASERVE_CHECK(kv_ != nullptr) << "null KV"; }
 
 void RequestPool::AddArrival(const Request& request) {
-  ADASERVE_CHECK(request.id == static_cast<RequestId>(requests_.size()))
+  ADASERVE_CHECK(request.id == base_id_ + static_cast<RequestId>(requests_.size()))
       << "requests must arrive with dense sequential ids; got " << request.id;
   requests_.push_back(request);
   requests_.back().state = RequestState::kQueued;
@@ -17,13 +17,17 @@ void RequestPool::AddArrival(const Request& request) {
 }
 
 Request& RequestPool::Get(RequestId id) {
-  ADASERVE_CHECK(id >= 0 && static_cast<size_t>(id) < requests_.size()) << "bad id " << id;
-  return requests_[static_cast<size_t>(id)];
+  ADASERVE_CHECK(id >= base_id_ &&
+                 static_cast<size_t>(id - base_id_) < requests_.size())
+      << "bad or retired id " << id;
+  return requests_[static_cast<size_t>(id - base_id_)];
 }
 
 const Request& RequestPool::Get(RequestId id) const {
-  ADASERVE_CHECK(id >= 0 && static_cast<size_t>(id) < requests_.size()) << "bad id " << id;
-  return requests_[static_cast<size_t>(id)];
+  ADASERVE_CHECK(id >= base_id_ &&
+                 static_cast<size_t>(id - base_id_) < requests_.size())
+      << "bad or retired id " << id;
+  return requests_[static_cast<size_t>(id - base_id_)];
 }
 
 RequestId RequestPool::TryAdmit(int max_active) {
@@ -71,6 +75,7 @@ void RequestPool::CommitToken(RequestId id, Token token, SimTime now) {
   ADASERVE_CHECK(req.state == RequestState::kRunning) << "commit on non-running " << id;
   req.output.push_back(token);
   req.token_times.push_back(now);
+  ++req.committed_len;
   if (req.first_token_time < 0.0) {
     req.first_token_time = now;
   }
@@ -100,6 +105,17 @@ long RequestPool::SumContextTokens(const std::vector<RequestId>& ids) const {
   return sum;
 }
 
+size_t RequestPool::RetireFinishedPrefix(const std::function<void(const Request&)>& sink) {
+  size_t retired = 0;
+  while (!requests_.empty() && requests_.front().state == RequestState::kFinished) {
+    sink(requests_.front());
+    requests_.pop_front();
+    ++base_id_;
+    ++retired;
+  }
+  return retired;
+}
+
 void RequestPool::Finish(RequestId id, SimTime now) {
   Request& req = Get(id);
   req.state = RequestState::kFinished;
@@ -109,6 +125,9 @@ void RequestPool::Finish(RequestId id, SimTime now) {
   auto it = std::find(active_.begin(), active_.end(), id);
   ADASERVE_CHECK(it != active_.end()) << "finished request not active " << id;
   active_.erase(it);
+  if (release_payload_on_finish_) {
+    req.ReleasePayload();
+  }
 }
 
 }  // namespace adaserve

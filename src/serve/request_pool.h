@@ -3,11 +3,16 @@
 // Requests move kQueued -> kPrefilling -> kRunning -> kFinished. The pool
 // owns request state; schedulers mutate it through the pool so that state
 // transitions stay consistent with KV accounting.
+//
+// Storage is a deque indexed by (id - retired prefix): streaming runs
+// retire finished requests from the front in id order, so resident memory
+// tracks the in-flight window instead of the whole trace.
 #ifndef ADASERVE_SRC_SERVE_REQUEST_POOL_H_
 #define ADASERVE_SRC_SERVE_REQUEST_POOL_H_
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/serve/kv_cache.h"
@@ -19,7 +24,8 @@ class RequestPool {
  public:
   explicit RequestPool(KvCache* kv);
 
-  // Adds an arriving request to the back of the admission queue.
+  // Adds an arriving request to the back of the admission queue. Ids must
+  // be dense and sequential across the run (including retired requests).
   void AddArrival(const Request& request);
 
   // Ids awaiting admission, FIFO order.
@@ -60,17 +66,38 @@ class RequestPool {
   // read volume of one iteration.
   long SumContextTokens(const std::vector<RequestId>& ids) const;
 
-  // All requests (for metrics after the run).
-  const std::vector<Request>& requests() const { return requests_; }
+  // All resident requests in id order (for metrics after the run). In
+  // streaming runs retired requests are no longer present.
+  const std::deque<Request>& requests() const { return requests_; }
+
+  // Requests currently held in memory (queued + active + finished-but-not-
+  // yet-retired). The engine tracks the peak of this to prove O(active)
+  // residency for streaming runs.
+  size_t resident_count() const { return requests_.size(); }
+  // Requests retired from the front so far.
+  size_t retired_count() const { return static_cast<size_t>(base_id_); }
+
+  // When enabled, a finished request's token payload (output, token_times)
+  // is freed immediately at finish; only metrics-relevant scalars remain.
+  void set_release_payload_on_finish(bool on) { release_payload_on_finish_ = on; }
+
+  // Pops the finished prefix of the id window, invoking `sink` on each
+  // popped request in id order. Call between scheduler iterations (never
+  // mid-step: schedulers may still inspect requests finished this step).
+  // Returns the number retired.
+  size_t RetireFinishedPrefix(const std::function<void(const Request&)>& sink);
 
  private:
   void Finish(RequestId id, SimTime now);
 
   KvCache* kv_;
-  std::vector<Request> requests_;
+  std::deque<Request> requests_;
+  // Id of requests_.front(); ids below it have been retired.
+  RequestId base_id_ = 0;
   std::deque<RequestId> queued_;
   std::vector<RequestId> active_;
   size_t finished_count_ = 0;
+  bool release_payload_on_finish_ = false;
 };
 
 }  // namespace adaserve

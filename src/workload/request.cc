@@ -17,6 +17,12 @@ bool Request::Attained() const {
   return AvgTpot() <= tpot_slo * (1.0 + 1e-9);
 }
 
+void Request::ReleasePayload() {
+  ADASERVE_CHECK(state == RequestState::kFinished) << "payload release on live request " << id;
+  std::vector<Token>().swap(output);
+  std::vector<SimTime>().swap(token_times);
+}
+
 double Request::MeanAccepted() const {
   if (verifications == 0) {
     return 0.0;

@@ -36,6 +36,9 @@ struct Request {
   RequestState state = RequestState::kQueued;
   // Prompt tokens prefilled so far (== prompt_len once prefill completes).
   int prefill_progress = 0;
+  // Committed output token count. Tracks output.size() while serving; stays
+  // valid after ReleasePayload() frees the token vectors in streaming runs.
+  int committed_len = 0;
   // Committed output tokens and their commit timestamps.
   std::vector<Token> output;
   std::vector<SimTime> token_times;
@@ -50,11 +53,16 @@ struct Request {
   long accepted_tokens = 0;
   long verified_tokens = 0;
 
-  int output_len() const { return static_cast<int>(output.size()); }
+  int output_len() const { return committed_len; }
   bool PrefillDone() const { return prefill_progress >= prompt_len; }
   bool DecodeDone() const { return output_len() >= target_output_len; }
   // Tokens of KV cache this request occupies.
   long KvTokens() const { return prefill_progress + output_len(); }
+
+  // Frees the per-token payload (output tokens, commit timestamps) of a
+  // finished request, keeping every metrics-relevant scalar. Streaming runs
+  // call this at finish so resident memory stays O(active requests).
+  void ReleasePayload();
 
   // Average time-per-output-token over the decode phase: the span from the
   // first token (produced by prefill) to completion, divided by the number

@@ -2,41 +2,107 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/logging.h"
 
 namespace adaserve {
 namespace {
 
-// Samples an inhomogeneous Poisson process on [0, duration) by thinning.
-// `envelope` must be bounded above by `envelope_max` and have time-average
-// `envelope_mean` over the window so that the realised mean rate matches
-// `mean_rps`.
-template <typename Envelope>
-std::vector<SimTime> Thinning(double duration, double mean_rps, uint64_t seed, Envelope envelope,
-                              double envelope_max, double envelope_mean) {
+// Integration resolution for envelope normalisation. Shared by every
+// thinned process so the realised mean rate is normalised identically
+// whether a trace is drained eagerly or generated lazily.
+constexpr int kEnvelopeSteps = 4096;
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct EnvelopeStats {
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+// Numerically integrates an envelope over [0, 1) for thinning
+// normalisation. Every process construction funnels through this so the
+// resolution and silent-envelope threshold stay in one place.
+EnvelopeStats IntegrateEnvelope(const std::function<double(double)>& envelope) {
+  EnvelopeStats stats;
+  for (int i = 0; i < kEnvelopeSteps; ++i) {
+    const double v = envelope((i + 0.5) / kEnvelopeSteps);
+    stats.mean += v;
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean /= kEnvelopeSteps;
+  return stats;
+}
+
+bool IsSilent(const EnvelopeStats& stats) { return stats.mean <= 1e-12; }
+
+}  // namespace
+
+// --- thinned (inhomogeneous Poisson) processes ------------------------------
+
+ThinnedProcess::ThinnedProcess(double duration, double mean_rps, uint64_t seed,
+                               std::function<double(double)> envelope, double envelope_max,
+                               double envelope_mean)
+    : duration_(duration),
+      envelope_(std::move(envelope)),
+      scale_(mean_rps / envelope_mean),
+      lambda_max_(envelope_max * scale_),
+      rng_(seed) {
   ADASERVE_CHECK(duration > 0.0) << "duration must be positive";
   ADASERVE_CHECK(mean_rps > 0.0) << "rate must be positive";
-  Rng rng(seed);
-  const double scale = mean_rps / envelope_mean;
-  const double lambda_max = envelope_max * scale;
-  std::vector<SimTime> arrivals;
-  arrivals.reserve(static_cast<size_t>(duration * mean_rps * 1.2) + 8);
-  double t = 0.0;
+  ADASERVE_CHECK(envelope_mean > 0.0) << "envelope mean must be positive";
+}
+
+SimTime ThinnedProcess::Next() {
+  if (done_) {
+    return kNoMoreArrivals;
+  }
   while (true) {
-    t += rng.Exponential(lambda_max);
-    if (t >= duration) {
-      break;
+    t_ += rng_.Exponential(lambda_max_);
+    if (t_ >= duration_) {
+      done_ = true;
+      return kNoMoreArrivals;
     }
-    const double lambda_t = envelope(t / duration) * scale;
-    if (rng.Uniform() * lambda_max <= lambda_t) {
-      arrivals.push_back(t);
+    const double lambda_t = envelope_(t_ / duration_) * scale_;
+    if (rng_.Uniform() * lambda_max_ <= lambda_t) {
+      return t_;
     }
+  }
+}
+
+std::unique_ptr<ThinnedProcess> MakeThinnedProcess(double duration, double mean_rps,
+                                                   uint64_t seed,
+                                                   std::function<double(double)> envelope) {
+  const EnvelopeStats stats = IntegrateEnvelope(envelope);
+  if (IsSilent(stats)) {
+    return nullptr;  // A silent envelope produces no traffic.
+  }
+  return std::make_unique<ThinnedProcess>(duration, mean_rps, seed, std::move(envelope),
+                                          stats.max, stats.mean);
+}
+
+std::unique_ptr<ThinnedProcess> MakeAbsoluteRateProcess(double duration, uint64_t seed,
+                                                        std::function<double(double)> envelope) {
+  const EnvelopeStats stats = IntegrateEnvelope(envelope);
+  if (IsSilent(stats)) {
+    return nullptr;
+  }
+  // mean_rps == envelope mean makes the thinning scale exactly 1, so the
+  // envelope's absolute rates pass through unrescaled.
+  return std::make_unique<ThinnedProcess>(duration, stats.mean, seed, std::move(envelope),
+                                          stats.max, stats.mean);
+}
+
+std::vector<SimTime> DrainArrivals(ArrivalProcess& process) {
+  std::vector<SimTime> arrivals;
+  for (SimTime t = process.Next(); t != kNoMoreArrivals; t = process.Next()) {
+    arrivals.push_back(t);
   }
   return arrivals;
 }
 
-}  // namespace
+// --- envelopes and vector builders ------------------------------------------
 
 double RealTraceEnvelope(double phase) {
   // Baseline plus three bursts of different widths/heights, echoing the
@@ -51,46 +117,109 @@ double RealTraceEnvelope(double phase) {
   return value;
 }
 
+std::unique_ptr<ThinnedProcess> MakeRealShapedProcess(const TraceConfig& config) {
+  return MakeThinnedProcess(config.duration, config.mean_rps, config.seed, RealTraceEnvelope);
+}
+
 std::vector<SimTime> RealShapedArrivals(const TraceConfig& config) {
-  // Numerically integrate the envelope once to get its mean and max.
-  constexpr int kSteps = 4096;
-  double mean = 0.0;
-  double max = 0.0;
-  for (int i = 0; i < kSteps; ++i) {
-    const double v = RealTraceEnvelope((i + 0.5) / kSteps);
-    mean += v;
-    max = std::max(max, v);
-  }
-  mean /= kSteps;
-  return Thinning(config.duration, config.mean_rps, config.seed, RealTraceEnvelope, max, mean);
+  auto process = MakeRealShapedProcess(config);
+  return DrainArrivals(*process);
+}
+
+std::unique_ptr<ThinnedProcess> MakePoissonProcess(double duration, double mean_rps,
+                                                   uint64_t seed) {
+  return MakeThinnedProcess(duration, mean_rps, seed, [](double) { return 1.0; });
 }
 
 std::vector<SimTime> PoissonArrivals(const TraceConfig& config) {
-  return Thinning(
-      config.duration, config.mean_rps, config.seed, [](double) { return 1.0; }, 1.0, 1.0);
+  auto process = MakePoissonProcess(config.duration, config.mean_rps, config.seed);
+  return DrainArrivals(*process);
 }
 
 std::vector<SimTime> BurstyArrivals(const BurstSpec& burst, double duration, uint64_t seed) {
   ADASERVE_CHECK(burst.peak_width > 0.0) << "burst width must be positive";
-  auto envelope = [&burst](double phase) {
+  auto envelope = [burst](double phase) {
     const double z = (phase - burst.peak_phase) / burst.peak_width;
     return burst.base_rps + (burst.peak_rps - burst.base_rps) * std::exp(-0.5 * z * z);
   };
-  // Mean of the envelope over [0,1): base + (peak-base)*width*sqrt(2*pi)
-  // truncated to the window; integrate numerically for exactness.
-  constexpr int kSteps = 4096;
-  double mean = 0.0;
-  double max = 0.0;
-  for (int i = 0; i < kSteps; ++i) {
-    const double v = envelope((i + 0.5) / kSteps);
-    mean += v;
-    max = std::max(max, v);
-  }
-  mean /= kSteps;
-  if (mean <= 1e-12) {
+  auto process = MakeAbsoluteRateProcess(duration, seed, envelope);
+  if (process == nullptr) {
     return {};  // A silent category (base == peak == 0) produces no traffic.
   }
-  return Thinning(duration, mean, seed, envelope, max, mean);
+  return DrainArrivals(*process);
+}
+
+// --- MMPP -------------------------------------------------------------------
+
+double MmppSpec::MeanRate() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t s = 0; s < state_rps.size(); ++s) {
+    weighted += state_rps[s] * mean_sojourn_s[s];
+    total += mean_sojourn_s[s];
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+MmppProcess::MmppProcess(const MmppSpec& spec, double duration, uint64_t seed)
+    : spec_(spec), duration_(duration), rng_(seed), state_(spec.initial_state) {
+  ADASERVE_CHECK(!spec_.state_rps.empty()) << "MMPP needs at least one state";
+  ADASERVE_CHECK(spec_.state_rps.size() == spec_.mean_sojourn_s.size())
+      << "MMPP state tables must be parallel";
+  ADASERVE_CHECK(state_ >= 0 && static_cast<size_t>(state_) < spec_.state_rps.size())
+      << "bad initial state " << state_;
+  ADASERVE_CHECK(duration_ > 0.0) << "duration must be positive";
+  for (size_t s = 0; s < spec_.state_rps.size(); ++s) {
+    ADASERVE_CHECK(spec_.state_rps[s] >= 0.0) << "negative MMPP rate";
+    ADASERVE_CHECK(spec_.mean_sojourn_s[s] > 0.0) << "MMPP sojourn must be positive";
+  }
+  next_switch_ = rng_.Exponential(1.0 / spec_.mean_sojourn_s[static_cast<size_t>(state_)]);
+}
+
+SimTime MmppProcess::Next() {
+  if (done_) {
+    return kNoMoreArrivals;
+  }
+  while (true) {
+    const double rate = spec_.state_rps[static_cast<size_t>(state_)];
+    // Candidate arrival within the current state; infinite for a silent
+    // (OFF) state, which always defers to the next state switch.
+    const double candidate = rate > 0.0 ? t_ + rng_.Exponential(rate) : duration_;
+    if (candidate < next_switch_) {
+      t_ = candidate;
+      if (t_ >= duration_) {
+        done_ = true;
+        return kNoMoreArrivals;
+      }
+      return t_;
+    }
+    // Advance to the switch point and move to the next state (cyclic
+    // modulation; the exponential sojourns make it Markov).
+    t_ = next_switch_;
+    if (t_ >= duration_) {
+      done_ = true;
+      return kNoMoreArrivals;
+    }
+    state_ = (state_ + 1) % static_cast<int>(spec_.state_rps.size());
+    next_switch_ = t_ + rng_.Exponential(1.0 / spec_.mean_sojourn_s[static_cast<size_t>(state_)]);
+  }
+}
+
+// --- diurnal ----------------------------------------------------------------
+
+double DiurnalEnvelope(const DiurnalSpec& spec, double t) {
+  const double phase = t / spec.period_s - spec.peak_phase;
+  return 1.0 + spec.amplitude * std::cos(2.0 * kPi * phase);
+}
+
+std::unique_ptr<ThinnedProcess> MakeDiurnalProcess(const DiurnalSpec& spec, double duration,
+                                                   double mean_rps, uint64_t seed) {
+  ADASERVE_CHECK(spec.period_s > 0.0) << "diurnal period must be positive";
+  ADASERVE_CHECK(spec.amplitude >= 0.0 && spec.amplitude <= 1.0)
+      << "diurnal amplitude must be in [0, 1], got " << spec.amplitude;
+  return MakeThinnedProcess(duration, mean_rps, seed, [spec, duration](double phase) {
+    return DiurnalEnvelope(spec, phase * duration);
+  });
 }
 
 }  // namespace adaserve

@@ -8,6 +8,8 @@
 #ifndef ADASERVE_SRC_WORKLOAD_TRACE_H_
 #define ADASERVE_SRC_WORKLOAD_TRACE_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -47,6 +49,124 @@ struct BurstSpec {
 };
 
 std::vector<SimTime> BurstyArrivals(const BurstSpec& burst, double duration, uint64_t seed);
+
+// --- lazy arrival processes -------------------------------------------------
+//
+// Incremental counterparts of the vector builders above: each Next() call
+// produces one arrival time, so million-event traces are generated on
+// demand instead of being materialized. The vector builders are thin
+// drains over these processes, which keeps the RNG draw sequence (and
+// therefore every golden baseline) identical between the two forms.
+
+// Sentinel returned by ArrivalProcess::Next when the process is exhausted.
+inline constexpr SimTime kNoMoreArrivals = -1.0;
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Next arrival time, nondecreasing across calls; kNoMoreArrivals once the
+  // process window is exhausted (and on every call thereafter).
+  virtual SimTime Next() = 0;
+};
+
+// Inhomogeneous Poisson process on [0, duration) sampled by thinning.
+// `envelope` is evaluated at phase t/duration, must be bounded above by
+// `envelope_max`, and have time-average `envelope_mean` over the window so
+// the realised mean rate matches `mean_rps`.
+class ThinnedProcess final : public ArrivalProcess {
+ public:
+  ThinnedProcess(double duration, double mean_rps, uint64_t seed,
+                 std::function<double(double)> envelope, double envelope_max,
+                 double envelope_mean);
+
+  SimTime Next() override;
+
+ private:
+  double duration_;
+  std::function<double(double)> envelope_;
+  double scale_;
+  double lambda_max_;
+  Rng rng_;
+  double t_ = 0.0;
+  bool done_ = false;
+};
+
+// Numerically integrates `envelope` over [0, 1) and builds a ThinnedProcess
+// normalised to `mean_rps`. All vector builders and streams funnel through
+// this so normalisation is computed exactly one way.
+std::unique_ptr<ThinnedProcess> MakeThinnedProcess(double duration, double mean_rps,
+                                                   uint64_t seed,
+                                                   std::function<double(double)> envelope);
+
+// As MakeThinnedProcess, but the envelope carries absolute rates
+// (requests/second) instead of a shape to be rescaled. Returns nullptr for
+// an everywhere-zero envelope (a silent process).
+std::unique_ptr<ThinnedProcess> MakeAbsoluteRateProcess(double duration, uint64_t seed,
+                                                        std::function<double(double)> envelope);
+
+// Markov-modulated Poisson process: the arrival rate is governed by a
+// background state chain that cycles through `state_rps` with
+// exponentially distributed sojourn times. Two states with a low/high rate
+// give the classic ON/OFF bursty process; more states give richer bursts.
+struct MmppSpec {
+  // Per-state arrival rates (requests/second). At least one state.
+  std::vector<double> state_rps = {0.5, 12.0};
+  // Per-state mean sojourn times (seconds), parallel to state_rps.
+  std::vector<double> mean_sojourn_s = {30.0, 5.0};
+  int initial_state = 0;
+
+  // Time-averaged rate implied by the spec (sojourn-weighted mean).
+  double MeanRate() const;
+};
+
+class MmppProcess final : public ArrivalProcess {
+ public:
+  MmppProcess(const MmppSpec& spec, double duration, uint64_t seed);
+
+  SimTime Next() override;
+
+  int state() const { return state_; }
+
+ private:
+  MmppSpec spec_;
+  double duration_;
+  Rng rng_;
+  int state_;
+  double t_ = 0.0;
+  double next_switch_ = 0.0;
+  bool done_ = false;
+};
+
+// Diurnal (time-of-day) rate envelope: a raised cosine with one peak per
+// `period_s`, floored at (1 - amplitude) of the mean. With period_s equal
+// to the trace duration a run spans one compressed "day".
+struct DiurnalSpec {
+  // Length of one day in trace seconds.
+  double period_s = 120.0;
+  // Peak position as a fraction of the period (0.55 ~ mid-afternoon).
+  double peak_phase = 0.55;
+  // Peak-to-trough swing; in [0, 1]. 0 degenerates to homogeneous Poisson.
+  double amplitude = 0.8;
+};
+
+// Rate multiplier (mean ~1 over a whole period) at absolute time `t`.
+double DiurnalEnvelope(const DiurnalSpec& spec, double t);
+
+// Lazy diurnal arrivals with time-average `mean_rps` over [0, duration).
+std::unique_ptr<ThinnedProcess> MakeDiurnalProcess(const DiurnalSpec& spec, double duration,
+                                                   double mean_rps, uint64_t seed);
+
+// Lazy homogeneous Poisson arrivals (rate `mean_rps` on [0, duration)).
+std::unique_ptr<ThinnedProcess> MakePoissonProcess(double duration, double mean_rps,
+                                                   uint64_t seed);
+
+// Lazy arrivals from the rescaled real-world trace shape (Fig. 7). Drains
+// to exactly RealShapedArrivals(config).
+std::unique_ptr<ThinnedProcess> MakeRealShapedProcess(const TraceConfig& config);
+
+// Drains a process to completion (helper for the vector builders/tests).
+std::vector<SimTime> DrainArrivals(ArrivalProcess& process);
 
 }  // namespace adaserve
 

@@ -96,6 +96,76 @@ TEST_F(EngineTest, IdleGapsSkippedToNextArrival) {
   EXPECT_LT(result.iterations.size(), 500u);  // no busy-waiting
 }
 
+// A category table with fixed tiny lengths: scale tests stress request
+// volume, not token volume.
+std::vector<CategorySpec> TinyCategories(const Experiment& exp) {
+  std::vector<CategorySpec> cats = exp.Categories();
+  for (CategorySpec& cat : cats) {
+    cat.prompt_len = LengthDist{.log_mean = 0.0, .log_stddev = 0.0, .min_len = 8, .max_len = 8};
+    cat.output_len = LengthDist{.log_mean = 0.0, .log_stddev = 0.0, .min_len = 4, .max_len = 4};
+  }
+  return cats;
+}
+
+TEST_F(EngineTest, BurstyBackpressureNeverExceedsAdmissionCapOrDropsRequests) {
+  // An ON/OFF burst process whose ON rate dwarfs the admission cap: the
+  // engine must keep admission at the cap, hold the rest in the bounded
+  // horizon, and still drain every request.
+  MmppStreamConfig config;
+  config.mmpp.state_rps = {5.0, 400.0};
+  config.mmpp.mean_sojourn_s = {1.0, 1.0};
+  config.duration = 8.0;
+  config.trace_seed = 5;
+  auto stream = MakeMmppStream(TinyCategories(exp_), config);
+
+  EngineConfig engine;
+  engine.max_active_requests = 8;
+  engine.arrival_horizon = 16;
+  engine.retire_finished = true;
+  VllmScheduler scheduler;
+  const EngineResult result = exp_.Run(scheduler, *stream, engine);
+
+  // No request dropped: everything the generator emitted finished.
+  EXPECT_EQ(result.metrics.finished, static_cast<int>(stream->emitted()));
+  EXPECT_GT(result.metrics.finished, 300) << "burst too small to stress admission";
+  // Admission never exceeds the cap.
+  for (const IterationRecord& rec : result.iterations) {
+    EXPECT_LE(rec.decode_requests, engine.max_active_requests);
+  }
+  // Residency stays near cap + horizon even though arrivals outpace
+  // service by ~50x during bursts: queue <= cap + horizon, active <= cap,
+  // plus a short-lived tail of finished requests awaiting retirement.
+  EXPECT_LE(result.peak_resident_requests,
+            static_cast<size_t>(engine.arrival_horizon + 4 * engine.max_active_requests));
+}
+
+TEST_F(EngineTest, SmokeScale100kPeakResidencyStaysNearActiveSet) {
+  // 100k requests through a lazy stream: peak residency must track the
+  // active set + horizon, not the trace length.
+  ChurnStreamConfig config;
+  config.duration = 1e9;  // effectively unbounded; the cap ends the stream
+  config.mean_rps = 2000.0;
+  config.trace_seed = 9;
+  config.max_requests = 100'000;
+  auto stream = MakeChurnStream(TinyCategories(exp_), config);
+
+  EngineConfig engine;
+  engine.max_active_requests = 64;
+  engine.arrival_horizon = 64;
+  engine.retire_finished = true;
+  engine.record_iterations = false;
+  VllmScheduler scheduler;
+  const EngineResult result = exp_.Run(scheduler, *stream, engine);
+
+  EXPECT_EQ(result.metrics.finished, 100'000);
+  EXPECT_GT(result.total_iterations, 0);
+  EXPECT_TRUE(result.requests.empty());
+  const size_t bound =
+      static_cast<size_t>(engine.arrival_horizon + 4 * engine.max_active_requests);
+  EXPECT_LE(result.peak_resident_requests, bound)
+      << "peak residency is O(trace), not O(active)";
+}
+
 TEST_F(EngineTest, MetricsBreakdownMatchesIterationLog) {
   AdaServeScheduler scheduler;
   const std::vector<Request> workload = SmallMixedWorkload(exp_);

@@ -134,6 +134,158 @@ TEST(Generator, BurstyWorkloadCoversAllCategories) {
   }
 }
 
+// --- streaming generation ---------------------------------------------------
+
+TEST(Stream, LazyRealTraceMatchesBatchBuilderExactly) {
+  // The stream interleaves trace-RNG and workload-RNG draws instead of
+  // consuming them phase-by-phase, but each generator's own sequence is
+  // unchanged — so the lazy stream reproduces BuildWorkload bit-for-bit.
+  RealTraceStreamConfig config;
+  config.trace.duration = 100.0;
+  config.trace.mean_rps = 4.0;
+  config.trace.seed = 42;
+  config.workload.mix = {0.5, 0.3, 0.2};
+  config.workload.seed = 11;
+  auto stream = MakeRealTraceStream(Cats(), config);
+  const std::vector<Request> lazy = Materialize(*stream);
+
+  WorkloadConfig mix;
+  mix.mix = config.workload.mix;
+  mix.seed = config.workload.seed;
+  const std::vector<Request> batch = BuildWorkload(Cats(), RealShapedArrivals(config.trace), mix);
+
+  ASSERT_EQ(lazy.size(), batch.size());
+  ASSERT_FALSE(lazy.empty());
+  for (size_t i = 0; i < lazy.size(); ++i) {
+    EXPECT_EQ(lazy[i].id, batch[i].id);
+    EXPECT_EQ(lazy[i].arrival, batch[i].arrival);
+    EXPECT_EQ(lazy[i].category, batch[i].category);
+    EXPECT_EQ(lazy[i].prompt_len, batch[i].prompt_len);
+    EXPECT_EQ(lazy[i].target_output_len, batch[i].target_output_len);
+    EXPECT_EQ(lazy[i].stream_seed, batch[i].stream_seed);
+    EXPECT_EQ(lazy[i].tpot_slo, batch[i].tpot_slo);
+  }
+}
+
+TEST(Stream, MmppStreamSortedDenseAndDeterministic) {
+  MmppStreamConfig config;
+  config.mmpp.state_rps = {0.5, 8.0};
+  config.mmpp.mean_sojourn_s = {20.0, 5.0};
+  config.duration = 500.0;
+  config.trace_seed = 41;
+  auto a = MakeMmppStream(Cats(), config);
+  auto b = MakeMmppStream(Cats(), config);
+  const std::vector<Request> first = Materialize(*a);
+  const std::vector<Request> second = Materialize(*b);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, static_cast<RequestId>(i));
+    EXPECT_EQ(first[i].arrival, second[i].arrival);
+    EXPECT_EQ(first[i].category, second[i].category);
+    EXPECT_EQ(first[i].prompt_len, second[i].prompt_len);
+    if (i > 0) {
+      EXPECT_GE(first[i].arrival, first[i - 1].arrival);
+    }
+  }
+}
+
+TEST(Stream, MmppStreamExactCountsUnderFixedSeed) {
+  MmppStreamConfig config;
+  config.mmpp.state_rps = {0.5, 8.0};
+  config.mmpp.mean_sojourn_s = {20.0, 5.0};
+  config.duration = 500.0;
+  config.trace_seed = 41;
+  auto stream = MakeMmppStream(Cats(), config);
+  const std::vector<Request> reqs = Materialize(*stream);
+  ASSERT_EQ(reqs.size(), 840u);
+  std::array<int, kNumCategories> counts = {0, 0, 0};
+  for (const Request& r : reqs) {
+    ++counts[static_cast<size_t>(r.category)];
+  }
+  // The {0.6, 0.2, 0.2} default mix under seed 7 sampling.
+  EXPECT_EQ(counts[0], 496);
+  EXPECT_EQ(counts[1], 170);
+  EXPECT_EQ(counts[2], 174);
+}
+
+TEST(Stream, ChurnMixDriftsFromStartToEnd) {
+  ChurnStreamConfig config;
+  config.duration = 3000.0;
+  config.mean_rps = 2.0;
+  config.trace_seed = 19;
+  auto stream = MakeChurnStream(Cats(), config);
+  const std::vector<Request> reqs = Materialize(*stream);
+  ASSERT_GT(reqs.size(), 1000u);
+  std::array<int, kNumCategories> early = {0, 0, 0};
+  std::array<int, kNumCategories> late = {0, 0, 0};
+  int early_n = 0;
+  int late_n = 0;
+  for (const Request& r : reqs) {
+    if (r.arrival < 1000.0) {
+      ++early[static_cast<size_t>(r.category)];
+      ++early_n;
+    } else if (r.arrival >= 2000.0) {
+      ++late[static_cast<size_t>(r.category)];
+      ++late_n;
+    }
+  }
+  // Start mix {0.8, 0.1, 0.1} drifting to {0.1, 0.1, 0.8}: the first third
+  // averages ~2/3 coding, the last third ~2/3 summarization.
+  EXPECT_NEAR(static_cast<double>(early[0]) / early_n, 0.68, 0.05);
+  EXPECT_NEAR(static_cast<double>(early[2]) / early_n, 0.22, 0.05);
+  EXPECT_NEAR(static_cast<double>(late[0]) / late_n, 0.22, 0.05);
+  EXPECT_NEAR(static_cast<double>(late[2]) / late_n, 0.68, 0.05);
+}
+
+TEST(Stream, ChurnExactCountsUnderFixedSeed) {
+  ChurnStreamConfig config;
+  config.duration = 3000.0;
+  config.mean_rps = 2.0;
+  config.trace_seed = 19;
+  auto stream = MakeChurnStream(Cats(), config);
+  const std::vector<Request> reqs = Materialize(*stream);
+  ASSERT_EQ(reqs.size(), 5910u);
+  std::array<int, kNumCategories> counts = {0, 0, 0};
+  for (const Request& r : reqs) {
+    ++counts[static_cast<size_t>(r.category)];
+  }
+  EXPECT_EQ(counts[0], 2658);
+  EXPECT_EQ(counts[1], 601);
+  EXPECT_EQ(counts[2], 2651);
+}
+
+TEST(Stream, MaxRequestsCapsEmission) {
+  ChurnStreamConfig config;
+  config.duration = 1e9;
+  config.mean_rps = 50.0;
+  config.max_requests = 10;
+  auto stream = MakeChurnStream(Cats(), config);
+  EXPECT_FALSE(stream->Exhausted());
+  const std::vector<Request> reqs = Materialize(*stream);
+  EXPECT_EQ(reqs.size(), 10u);
+  EXPECT_TRUE(stream->Exhausted());
+  EXPECT_EQ(stream->Peek(), nullptr);
+  EXPECT_EQ(stream->emitted(), 10u);
+}
+
+TEST(Stream, PeekIsStableAndMatchesNext) {
+  DiurnalStreamConfig config;
+  config.duration = 50.0;
+  config.mean_rps = 2.0;
+  auto stream = MakeDiurnalStream(Cats(), config);
+  while (!stream->Exhausted()) {
+    const Request* peeked = stream->Peek();
+    ASSERT_NE(peeked, nullptr);
+    const RequestId id = peeked->id;
+    const SimTime arrival = peeked->arrival;
+    // Peeking again must not advance generation.
+    EXPECT_EQ(stream->Peek()->id, id);
+    const Request next = stream->Next();
+    EXPECT_EQ(next.id, id);
+    EXPECT_EQ(next.arrival, arrival);
+  }
+}
+
 TEST(Generator, DeterministicForSeed) {
   TraceConfig trace;
   trace.duration = 60.0;

@@ -20,8 +20,28 @@ namespace {
 
 bool g_update_golden = false;
 
-std::string GoldenPath(SystemKind kind) {
-  return std::string(ADASERVE_GOLDEN_DIR) + "/" + GoldenFileSlug(kind) + ".txt";
+std::string GoldenPath(SystemKind kind, GoldenScenario scenario = GoldenScenario::kRealTrace) {
+  return std::string(ADASERVE_GOLDEN_DIR) + "/" + GoldenScenarioPrefix(scenario) +
+         GoldenFileSlug(kind) + ".txt";
+}
+
+void CheckAgainstBaseline(const Experiment& exp, SystemKind kind, GoldenScenario scenario) {
+  const EngineResult result = RunGoldenSystem(exp, kind, {}, scenario);
+  ASSERT_GT(result.metrics.finished, 0) << SystemName(kind) << " finished nothing";
+  const std::string actual = GoldenMetricsText(kind, result.metrics);
+  const std::string path = GoldenPath(kind, scenario);
+
+  if (g_update_golden) {
+    ASSERT_TRUE(WriteGoldenFile(path, actual)) << "cannot write " << path;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  std::string expected;
+  ASSERT_TRUE(ReadGoldenFile(path, &expected))
+      << "missing baseline " << path << "; run `golden_test --update_golden` to create it";
+  EXPECT_EQ(expected, actual)
+      << "golden metrics changed for " << SystemName(kind)
+      << "; if intentional, regenerate with `golden_test --update_golden`";
 }
 
 class GoldenTest : public testing::TestWithParam<SystemKind> {
@@ -39,23 +59,18 @@ class GoldenTest : public testing::TestWithParam<SystemKind> {
 Experiment* GoldenTest::exp_ = nullptr;
 
 TEST_P(GoldenTest, MetricsMatchBaseline) {
-  const SystemKind kind = GetParam();
-  const EngineResult result = RunGoldenSystem(*exp_, kind);
-  ASSERT_GT(result.metrics.finished, 0) << SystemName(kind) << " finished nothing";
-  const std::string actual = GoldenMetricsText(kind, result.metrics);
-  const std::string path = GoldenPath(kind);
+  CheckAgainstBaseline(*exp_, GetParam(), GoldenScenario::kRealTrace);
+}
 
-  if (g_update_golden) {
-    ASSERT_TRUE(WriteGoldenFile(path, actual)) << "cannot write " << path;
-    GTEST_SKIP() << "updated " << path;
-  }
+// The streaming scenarios run through the lazy engine path (generator-backed
+// stream, bounded horizon, finished-request retirement), so these baselines
+// regression-pin the streaming admission and incremental-metrics machinery.
+TEST_P(GoldenTest, BurstyStreamMetricsMatchBaseline) {
+  CheckAgainstBaseline(*exp_, GetParam(), GoldenScenario::kBursty);
+}
 
-  std::string expected;
-  ASSERT_TRUE(ReadGoldenFile(path, &expected))
-      << "missing baseline " << path << "; run `golden_test --update_golden` to create it";
-  EXPECT_EQ(expected, actual)
-      << "golden metrics changed for " << SystemName(kind)
-      << "; if intentional, regenerate with `golden_test --update_golden`";
+TEST_P(GoldenTest, DiurnalStreamMetricsMatchBaseline) {
+  CheckAgainstBaseline(*exp_, GetParam(), GoldenScenario::kDiurnal);
 }
 
 std::string ParamName(const testing::TestParamInfo<SystemKind>& info) {

@@ -13,6 +13,7 @@ Request FinishedRequest(RequestId id, int category, double tpot_slo, double avg_
   req.tpot_slo = tpot_slo;
   req.state = RequestState::kFinished;
   req.output.assign(static_cast<size_t>(output_len), 1);
+  req.committed_len = output_len;
   req.first_token_time = 1.0;
   req.finish_time = 1.0 + avg_tpot * (output_len - 1);
   return req;
@@ -90,7 +91,7 @@ TEST(Metrics, BreakdownSumsIterations) {
 }
 
 TEST(Metrics, EmptyRunIsAllZeroes) {
-  const Metrics m = ComputeMetrics({}, {}, 0.0);
+  const Metrics m = ComputeMetrics(std::span<const Request>{}, {}, 0.0);
   EXPECT_EQ(m.finished, 0);
   EXPECT_EQ(m.GoodputTps(), 0.0);
   EXPECT_EQ(m.AttainmentPct(), 100.0);

@@ -13,6 +13,7 @@ Request MakeRequest(double tpot_slo, SimTime first_token, int output_len) {
   req.tpot_slo = tpot_slo;
   req.first_token_time = first_token;
   req.output.assign(static_cast<size_t>(output_len), 7);
+  req.committed_len = output_len;
   return req;
 }
 

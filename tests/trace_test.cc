@@ -92,6 +92,147 @@ TEST(Trace, BurstyBaseOnlyWhenPeakEqualsBase) {
   EXPECT_NEAR(arrivals.size() / 1000.0, 2.0, 0.2);
 }
 
+// --- lazy arrival processes -------------------------------------------------
+
+// Index of dispersion (variance/mean) of per-second arrival counts; 1 for
+// Poisson, >1 for bursty processes.
+double DispersionIndex(const std::vector<SimTime>& arrivals, double duration) {
+  std::vector<int> bins(static_cast<size_t>(duration), 0);
+  for (SimTime t : arrivals) {
+    ++bins[static_cast<size_t>(t)];
+  }
+  const double mean = static_cast<double>(arrivals.size()) / duration;
+  double var = 0.0;
+  for (int c : bins) {
+    var += (c - mean) * (c - mean);
+  }
+  var /= duration;
+  return var / mean;
+}
+
+MmppSpec TwoStateMmpp() {
+  MmppSpec spec;
+  spec.state_rps = {1.0, 10.0};
+  spec.mean_sojourn_s = {10.0, 10.0};
+  return spec;
+}
+
+TEST(Mmpp, MeanRateTracksSojournWeightedAverage) {
+  MmppProcess process(TwoStateMmpp(), /*duration=*/2000.0, /*seed=*/77);
+  const std::vector<SimTime> arrivals = DrainArrivals(process);
+  // Equal sojourns in a 1/10 rps two-state chain: mean rate 5.5.
+  EXPECT_NEAR(arrivals.size() / 2000.0, TwoStateMmpp().MeanRate(), 0.5);
+  EXPECT_NEAR(TwoStateMmpp().MeanRate(), 5.5, 1e-12);
+}
+
+TEST(Mmpp, BurstierThanPoissonAtSameRate) {
+  MmppProcess process(TwoStateMmpp(), /*duration=*/2000.0, /*seed=*/77);
+  const std::vector<SimTime> mmpp = DrainArrivals(process);
+  TraceConfig poisson_config;
+  poisson_config.duration = 2000.0;
+  poisson_config.mean_rps = 5.5;
+  poisson_config.seed = 77;
+  const std::vector<SimTime> poisson = PoissonArrivals(poisson_config);
+  // Modulated ON/OFF arrivals overdisperse heavily; Poisson sits at ~1.
+  EXPECT_GT(DispersionIndex(mmpp, 2000.0), 2.5);
+  EXPECT_LT(DispersionIndex(poisson, 2000.0), 1.5);
+}
+
+TEST(Mmpp, ExactCountUnderFixedSeed) {
+  MmppProcess process(TwoStateMmpp(), /*duration=*/2000.0, /*seed=*/77);
+  EXPECT_EQ(DrainArrivals(process).size(), 11707u);
+}
+
+TEST(Mmpp, SortedInRangeDeterministicAndExhaustsForever) {
+  MmppProcess a(TwoStateMmpp(), 300.0, 3);
+  MmppProcess b(TwoStateMmpp(), 300.0, 3);
+  const std::vector<SimTime> first = DrainArrivals(a);
+  const std::vector<SimTime> second = DrainArrivals(b);
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  for (SimTime t : first) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 300.0);
+  }
+  // Exhaustion is terminal.
+  EXPECT_EQ(a.Next(), kNoMoreArrivals);
+  EXPECT_EQ(a.Next(), kNoMoreArrivals);
+}
+
+TEST(Mmpp, SilentOffStateProducesGaps) {
+  MmppSpec spec;
+  spec.state_rps = {0.0, 20.0};
+  spec.mean_sojourn_s = {5.0, 5.0};
+  MmppProcess process(spec, /*duration=*/1000.0, /*seed=*/11);
+  const std::vector<SimTime> arrivals = DrainArrivals(process);
+  ASSERT_GT(arrivals.size(), 100u);
+  // ~half the window is OFF, so the realised rate is ~10 rps and at least
+  // one inter-arrival gap spans a whole OFF sojourn.
+  EXPECT_NEAR(arrivals.size() / 1000.0, 10.0, 1.5);
+  double max_gap = 0.0;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    max_gap = std::max(max_gap, arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_GT(max_gap, 2.0);
+}
+
+DiurnalSpec TestDiurnal() {
+  DiurnalSpec spec;
+  spec.period_s = 200.0;
+  spec.peak_phase = 0.5;
+  spec.amplitude = 0.9;
+  return spec;
+}
+
+TEST(Diurnal, EnvelopePeaksAndTroughsWhereConfigured) {
+  const DiurnalSpec spec = TestDiurnal();
+  // Peak at phase 0.5 of the 200 s day; trough half a day away.
+  EXPECT_NEAR(DiurnalEnvelope(spec, 100.0), 1.9, 1e-9);
+  EXPECT_NEAR(DiurnalEnvelope(spec, 0.0), 0.1, 1e-9);
+  EXPECT_NEAR(DiurnalEnvelope(spec, 200.0), 0.1, 1e-9);
+}
+
+TEST(Diurnal, ArrivalsFollowTheRateEnvelope) {
+  auto process = MakeDiurnalProcess(TestDiurnal(), /*duration=*/200.0, /*mean_rps=*/4.0,
+                                    /*seed=*/13);
+  const std::vector<SimTime> arrivals = DrainArrivals(*process);
+  size_t peak_half = 0;
+  for (SimTime t : arrivals) {
+    if (t >= 50.0 && t < 150.0) {
+      ++peak_half;
+    }
+  }
+  // The day-time half of the window carries most of the traffic.
+  EXPECT_GT(peak_half, arrivals.size() * 6 / 10);
+  EXPECT_NEAR(arrivals.size() / 200.0, 4.0, 0.5);
+}
+
+TEST(Diurnal, ExactCountUnderFixedSeed) {
+  auto process = MakeDiurnalProcess(TestDiurnal(), 200.0, 4.0, 13);
+  const std::vector<SimTime> arrivals = DrainArrivals(*process);
+  EXPECT_EQ(arrivals.size(), 831u);
+  size_t peak_half = 0;
+  for (SimTime t : arrivals) {
+    if (t >= 50.0 && t < 150.0) {
+      ++peak_half;
+    }
+  }
+  EXPECT_EQ(peak_half, 634u);
+}
+
+TEST(LazyProcess, DrainMatchesVectorBuilders) {
+  // The vector builders are drains over the lazy processes, so same seed
+  // must mean the same arrivals element-for-element.
+  TraceConfig config;
+  config.duration = 500.0;
+  config.mean_rps = 3.0;
+  config.seed = 21;
+  auto poisson = MakePoissonProcess(config.duration, config.mean_rps, config.seed);
+  EXPECT_EQ(DrainArrivals(*poisson), PoissonArrivals(config));
+  auto real = MakeRealShapedProcess(config);
+  EXPECT_EQ(DrainArrivals(*real), RealShapedArrivals(config));
+}
+
 class RpsSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(RpsSweep, RescalingTracksTarget) {
