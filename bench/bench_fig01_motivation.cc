@@ -7,12 +7,12 @@
 // SLOs badly; vLLM+Priority saves Cat 1 but congests Cat 2.
 #include <iostream>
 
-#include "src/adaserve.h"
+#include "bench/sweep_common.h"
 
 namespace adaserve {
 namespace {
 
-void Run() {
+int Run(const BenchArgs& args) {
   const Setup setup = LlamaSetup();
   Experiment exp(setup);
   const std::vector<CategorySpec> cats = exp.Categories();
@@ -22,8 +22,9 @@ void Run() {
             << " ms, SLO2 (Cat2 chat) = " << Fmt(ToMs(cats[1].tpot_slo), 1) << " ms\n\n";
 
   const std::vector<Request> workload = exp.RealTraceWorkload(
-      /*duration=*/40.0, /*mean_rps=*/3.5, WorkloadConfig{.mix = {0.5, 0.5, 0.0}});
+      SweepDurationFor(args), /*mean_rps=*/3.5, WorkloadConfig{.mix = {0.5, 0.5, 0.0}});
 
+  BenchJson json("fig01_motivation");
   TablePrinter table({"System", "Cat", "mean TPOT(ms)", "p50(ms)", "p99(ms)", "Violation(%)"});
   for (SystemKind kind : MotivationSet()) {
     auto scheduler = MakeScheduler(kind);
@@ -33,15 +34,18 @@ void Run() {
       table.AddRow({std::string(SystemName(kind)), c == 0 ? "Cat1" : "Cat2",
                     Fmt(m.tpot_ms.Mean(), 2), Fmt(m.tpot_ms.Percentile(50), 2),
                     Fmt(m.tpot_ms.Percentile(99), 2), FmtPct(100.0 - m.AttainmentPct())});
+      const std::string system(SystemName(kind));
+      json.Add(setup.label, system, "attainment_pct", c + 1, m.AttainmentPct());
+      json.Add(setup.label, system, "mean_tpot_ms", c + 1, m.tpot_ms.Mean());
     }
   }
   table.Print(std::cout);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

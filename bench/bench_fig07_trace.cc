@@ -5,12 +5,12 @@
 #include <iostream>
 #include <string>
 
-#include "src/adaserve.h"
+#include "bench/sweep_common.h"
 
 namespace adaserve {
 namespace {
 
-void Run() {
+int Run(const BenchArgs& args) {
   TraceConfig config;
   config.duration = 1200.0;  // 20 minutes, matching the paper's window.
   config.mean_rps = 4.0;
@@ -28,20 +28,22 @@ void Run() {
   for (size_t b = 0; b < kBins; ++b) {
     max_count = std::max(max_count, hist.count(b));
   }
+  BenchJson json("fig07_trace");
   TablePrinter table({"t(min)", "req/s", "frequency"});
   for (size_t b = 0; b < kBins; ++b) {
     const double bin_seconds = config.duration / kBins;
     const double rate = hist.count(b) / bin_seconds;
     const auto bar_len = static_cast<size_t>(50.0 * hist.count(b) / max_count);
     table.AddRow({Fmt(hist.BinCenter(b) / 60.0, 1), Fmt(rate, 2), std::string(bar_len, '#')});
+    json.Add("", "trace", "req_per_s", hist.BinCenter(b) / 60.0, rate);
   }
   table.Print(std::cout);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

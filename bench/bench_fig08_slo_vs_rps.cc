@@ -10,34 +10,38 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup, const std::vector<double>& rps_grid) {
+void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
+              BenchJson& json) {
   Experiment exp(setup);
   std::cout << "\n" << setup.label << "\n";
   TablePrinter table({"System", "RPS", "SLO Attainment(%)", "Cat1(%)", "Cat2(%)", "Cat3(%)"});
-  for (double rps : rps_grid) {
+  for (double rps : GridFor(args, rps_grid)) {
     const std::vector<Request> workload =
-        exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+        exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
     for (const SweepPoint& p : RunAllSystems(exp, workload, rps, MainComparisonSet())) {
       table.AddRow({std::string(SystemName(p.system)), Fmt(rps, 1),
                     FmtPct(p.metrics.AttainmentPct()),
                     FmtPct(p.metrics.per_category[0].AttainmentPct()),
                     FmtPct(p.metrics.per_category[1].AttainmentPct()),
                     FmtPct(p.metrics.per_category[2].AttainmentPct())});
+      json.Add(setup.label, std::string(SystemName(p.system)), "attainment_pct", rps,
+               p.metrics.AttainmentPct());
     }
   }
   table.Print(std::cout);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig08_slo_vs_rps");
   std::cout << "Figure 8: SLO attainment w.r.t. RPS (mix 60/20/20, real-shaped trace)\n";
-  RunModel(LlamaSetup(), LlamaRpsGrid());
-  RunModel(QwenSetup(), QwenRpsGrid());
+  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json);
+  RunModel(QwenSetup(), QwenRpsGrid(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -6,31 +6,36 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup, const std::vector<double>& rps_grid) {
+void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
+              BenchJson& json) {
   Experiment exp(setup);
   std::cout << "\n" << setup.label << "\n";
   TablePrinter table({"System", "RPS", "Goodput(tok/s)", "Throughput(tok/s)"});
-  for (double rps : rps_grid) {
+  for (double rps : GridFor(args, rps_grid)) {
     const std::vector<Request> workload =
-        exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+        exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
     for (const SweepPoint& p : RunAllSystems(exp, workload, rps, MainComparisonSet())) {
       table.AddRow({std::string(SystemName(p.system)), Fmt(rps, 1),
                     Fmt(p.metrics.GoodputTps(), 1), Fmt(p.metrics.ThroughputTps(), 1)});
+      const std::string system(SystemName(p.system));
+      json.Add(setup.label, system, "goodput_tps", rps, p.metrics.GoodputTps());
+      json.Add(setup.label, system, "throughput_tps", rps, p.metrics.ThroughputTps());
     }
   }
   table.Print(std::cout);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig09_goodput_vs_rps");
   std::cout << "Figure 9: goodput w.r.t. RPS (mix 60/20/20, real-shaped trace)\n";
-  RunModel(LlamaSetup(), LlamaRpsGrid());
-  RunModel(QwenSetup(), QwenRpsGrid());
+  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json);
+  RunModel(QwenSetup(), QwenRpsGrid(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -11,35 +11,39 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup) {
+void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json) {
   Experiment exp(setup);
   std::cout << "\n" << setup.label << " (4.0 req/s)\n";
   TablePrinter table(
       {"System", "Urgent(%)", "SLO Attainment(%)", "Goodput(tok/s)", "Cat1(%)"});
-  for (double urgent : {0.3, 0.5, 0.7, 0.9}) {
+  for (double urgent : GridFor(args, {0.3, 0.5, 0.7, 0.9})) {
     const double rest = (1.0 - urgent) / 2.0;
     const std::vector<Request> workload = exp.RealTraceWorkload(
-        kSweepDuration, 4.0, WorkloadConfig{.mix = {urgent, rest, rest}});
+        SweepDurationFor(args), 4.0, WorkloadConfig{.mix = {urgent, rest, rest}});
     for (const SweepPoint& p :
          RunAllSystems(exp, workload, urgent, MainComparisonSet())) {
       table.AddRow({std::string(SystemName(p.system)), Fmt(urgent * 100.0, 0),
                     FmtPct(p.metrics.AttainmentPct()), Fmt(p.metrics.GoodputTps(), 1),
                     FmtPct(p.metrics.per_category[0].AttainmentPct())});
+      const std::string system(SystemName(p.system));
+      json.Add(setup.label, system, "attainment_pct", urgent, p.metrics.AttainmentPct());
+      json.Add(setup.label, system, "goodput_tps", urgent, p.metrics.GoodputTps());
     }
   }
   table.Print(std::cout);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig10_urgent_share");
   std::cout << "Figure 10: SLO attainment and goodput w.r.t. urgent request proportion\n";
-  RunModel(LlamaSetup());
-  RunModel(QwenSetup());
+  RunModel(LlamaSetup(), args, json);
+  RunModel(QwenSetup(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

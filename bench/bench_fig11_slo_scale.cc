@@ -12,14 +12,14 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup) {
+void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json) {
   Experiment exp(setup);
   std::cout << "\n" << setup.label << " (4.0 req/s, 60% urgent)\n";
   TablePrinter table({"System", "SLO scale", "SLO Attainment(%)", "Goodput(tok/s)", "Cat1(%)"});
-  for (double scale : {1.6, 1.4, 1.2, 1.0, 0.8, 0.6}) {
+  for (double scale : GridFor(args, {1.6, 1.4, 1.2, 1.0, 0.8, 0.6})) {
     const CategoryConfig cat_config{.cat1_slo_scale = scale};
     TraceConfig trace;
-    trace.duration = kSweepDuration;
+    trace.duration = SweepDurationFor(args);
     trace.mean_rps = 4.0;
     const std::vector<Request> workload = BuildWorkload(
         exp.Categories(cat_config), RealShapedArrivals(trace), PeakMix());
@@ -27,21 +27,25 @@ void RunModel(const Setup& setup) {
       table.AddRow({std::string(SystemName(p.system)), Fmt(scale, 1),
                     FmtPct(p.metrics.AttainmentPct()), Fmt(p.metrics.GoodputTps(), 1),
                     FmtPct(p.metrics.per_category[0].AttainmentPct())});
+      const std::string system(SystemName(p.system));
+      json.Add(setup.label, system, "attainment_pct", scale, p.metrics.AttainmentPct());
+      json.Add(setup.label, system, "goodput_tps", scale, p.metrics.GoodputTps());
     }
   }
   table.Print(std::cout);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig11_slo_scale");
   std::cout << "Figure 11: SLO attainment and goodput w.r.t. SLO scale\n";
-  RunModel(LlamaSetup());
-  RunModel(QwenSetup());
+  RunModel(LlamaSetup(), args, json);
+  RunModel(QwenSetup(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -10,34 +10,38 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup, const std::vector<double>& rps_grid) {
+void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
+              BenchJson& json) {
   Experiment exp(setup);
   std::cout << "\n" << setup.label << "\n";
   const std::vector<SystemKind> systems = {SystemKind::kAdaServe, SystemKind::kVllmSpec4,
                                            SystemKind::kVllmSpec6, SystemKind::kVllmSpec8};
   TablePrinter table({"System", "RPS", "Mean accepted tokens"});
-  for (double rps : rps_grid) {
+  for (double rps : GridFor(args, rps_grid)) {
     const std::vector<Request> workload =
-        exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+        exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
     for (const SweepPoint& p : RunAllSystems(exp, workload, rps, systems)) {
       table.AddRow(
           {std::string(SystemName(p.system)), Fmt(rps, 1), Fmt(p.metrics.mean_accepted, 2)});
+      json.Add(setup.label, std::string(SystemName(p.system)), "mean_accepted", rps,
+               p.metrics.mean_accepted);
     }
   }
   table.Print(std::cout);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig12_acceptance");
   std::cout
       << "Figure 12: mean accepted tokens per request per verification (speculation accuracy)\n";
-  RunModel(LlamaSetup(), LlamaRpsGrid());
-  RunModel(QwenSetup(), QwenRpsGrid());
+  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json);
+  RunModel(QwenSetup(), QwenRpsGrid(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -23,7 +23,7 @@ std::array<BurstSpec, kNumCategories> Fig13Bursts() {
   }};
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
   constexpr double kDuration = 360.0;  // 6 minutes, matching Fig. 13.
   const auto bursts = Fig13Bursts();
   std::cout << "Figure 13: request arrival pattern of the synthetic trace (6 min)\n\n";
@@ -39,23 +39,28 @@ void Run() {
       hists[static_cast<size_t>(c)].Add(t);
     }
   }
+  BenchJson json("fig13_bursty_trace");
   const double bin_seconds = kDuration / kBins;
   for (size_t b = 0; b < kBins; ++b) {
     table.AddRow({Fmt(hists[0].BinCenter(b) / 60.0, 2), Fmt(hists[0].count(b) / bin_seconds, 2),
                   Fmt(hists[1].count(b) / bin_seconds, 2),
                   Fmt(hists[2].count(b) / bin_seconds, 2)});
+    for (int c = 0; c < kNumCategories; ++c) {
+      json.Add("", names[c], "req_per_s", hists[0].BinCenter(b) / 60.0,
+               hists[static_cast<size_t>(c)].count(b) / bin_seconds);
+    }
   }
   table.Print(std::cout);
   for (int c = 0; c < kNumCategories; ++c) {
     std::cout << names[c] << " peak at minute "
               << Fmt(bursts[static_cast<size_t>(c)].peak_phase * kDuration / 60.0, 1) << "\n";
   }
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -17,11 +17,12 @@ std::array<BurstSpec, kNumCategories> Fig13Bursts() {
   }};
 }
 
-void RunModel(const Setup& setup) {
+void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json) {
   Experiment exp(setup);
-  constexpr double kDuration = 120.0;  // Compressed bursty window.
+  // Compressed bursty window (shorter still under --smoke).
+  const double duration = args.smoke ? 40.0 : 120.0;
   const std::vector<Request> workload =
-      BuildBurstyWorkload(exp.Categories(), Fig13Bursts(), kDuration, /*seed=*/100);
+      BuildBurstyWorkload(exp.Categories(), Fig13Bursts(), duration, /*seed=*/100);
   std::cout << "\n" << setup.label << "  (" << workload.size() << " requests)\n";
   TablePrinter table({"System", "SLO Attainment(%)", "Cat1(%)", "Cat2(%)", "Cat3(%)"});
   for (const SweepPoint& p : RunAllSystems(exp, workload, 0.0, MainComparisonSet())) {
@@ -29,20 +30,23 @@ void RunModel(const Setup& setup) {
                   FmtPct(p.metrics.per_category[0].AttainmentPct()),
                   FmtPct(p.metrics.per_category[1].AttainmentPct()),
                   FmtPct(p.metrics.per_category[2].AttainmentPct())});
+    json.Add(setup.label, std::string(SystemName(p.system)), "attainment_pct", 0.0,
+             p.metrics.AttainmentPct());
   }
   table.Print(std::cout);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig14_bursty_attainment");
   std::cout << "Figure 14: SLO attainment under the synthetic bursty trace\n";
-  RunModel(LlamaSetup());
-  RunModel(QwenSetup());
+  RunModel(LlamaSetup(), args, json);
+  RunModel(QwenSetup(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -10,9 +10,10 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup) {
+void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json) {
   Experiment exp(setup);
-  const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, 4.0, PeakMix());
+  const std::vector<Request> workload =
+      exp.RealTraceWorkload(SweepDurationFor(args), 4.0, PeakMix());
   AdaServeScheduler scheduler;
   const EngineResult result = exp.Run(scheduler, workload);
   const Metrics& m = result.metrics;
@@ -28,18 +29,23 @@ void RunModel(const Setup& setup) {
   table.AddRow({"Prefill (target GPU)", Fmt(m.prefill_time, 3),
                 Fmt(100.0 * m.prefill_time / total, 2)});
   table.Print(std::cout);
+  json.Add(setup.label, "AdaServe", "select_share_pct", 0.0, 100.0 * m.select_time / total);
+  json.Add(setup.label, "AdaServe", "spec_share_pct", 0.0, 100.0 * m.spec_time / total);
+  json.Add(setup.label, "AdaServe", "verify_share_pct", 0.0, 100.0 * m.verify_time / total);
+  json.Add(setup.label, "AdaServe", "prefill_share_pct", 0.0, 100.0 * m.prefill_time / total);
 }
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("fig15_breakdown");
   std::cout << "Figure 15: latency breakdown of AdaServe (4.0 req/s, mix 60/20/20)\n";
-  RunModel(LlamaSetup());
-  RunModel(QwenSetup());
+  RunModel(LlamaSetup(), args, json);
+  RunModel(QwenSetup(), args, json);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

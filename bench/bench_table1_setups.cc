@@ -3,13 +3,14 @@
 // reproduction computes from them.
 #include <iostream>
 
-#include "src/adaserve.h"
+#include "bench/sweep_common.h"
 
 namespace adaserve {
 namespace {
 
-void Run() {
+int Run(const BenchArgs& args) {
   std::cout << "Table 1: evaluation setups for different models\n\n";
+  BenchJson json("table1_setups");
   TablePrinter table({"Model", "Parallelism", "GPUs", "Draft model", "Weights(GB)",
                       "Floor(ms)", "Knee(tok)", "Budget B", "Draft B2", "Baseline(ms)"});
   for (const Setup& setup : {LlamaSetup(), QwenSetup()}) {
@@ -23,14 +24,18 @@ void Run() {
                   std::to_string(DeriveTokenBudget(lat)),
                   std::to_string(DeriveDraftBudget(lat, exp.draft_latency())),
                   Fmt(ToMs(exp.BaselineLatency()), 2)});
+    json.Add(setup.label, "hw", "verify_budget", 0.0, DeriveTokenBudget(lat));
+    json.Add(setup.label, "hw", "draft_budget", 0.0,
+             DeriveDraftBudget(lat, exp.draft_latency()));
+    json.Add(setup.label, "hw", "baseline_ms", 0.0, ToMs(exp.BaselineLatency()));
   }
   table.Print(std::cout);
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

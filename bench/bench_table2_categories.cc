@@ -2,12 +2,13 @@
 #include <cmath>
 #include <iostream>
 
-#include "src/adaserve.h"
+#include "bench/sweep_common.h"
 
 namespace adaserve {
 namespace {
 
-void Run() {
+int Run(const BenchArgs& args) {
+  BenchJson json("table2_categories");
   std::cout << "Table 2: request categories and their SLOs\n\n";
   for (const Setup& setup : {LlamaSetup(), QwenSetup()}) {
     Experiment exp(setup);
@@ -26,16 +27,17 @@ void Run() {
           std::exp(cat.output_len.log_mean + cat.output_len.log_stddev * cat.output_len.log_stddev / 2);
       table.AddRow({cat.name, cat.application, cat.dataset, slo_desc[c],
                     Fmt(ToMs(cat.tpot_slo), 1), Fmt(prompt_mean, 0), Fmt(output_mean, 0)});
+      json.Add(setup.label, cat.name, "slo_ms", c + 1, ToMs(cat.tpot_slo));
     }
     table.Print(std::cout);
     std::cout << "\n";
   }
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -1,0 +1,167 @@
+// CI perf gate: diffs a bench's BENCH_*.json output against a committed
+// rolling baseline and fails on regressions.
+//
+//   perf_diff <baseline.json> <candidate.json> [--rel_tol 0.05] [--abs_tol 2.0]
+//
+// Every baseline row (model, system, metric, x) must exist in the
+// candidate, and its value must not be below
+//   baseline - max(abs_tol, rel_tol * |baseline|).
+// All gated metrics (goodput_tps, throughput_tps, attainment_pct) are
+// higher-is-better by construction. Improvements beyond tolerance are
+// reported as a hint to refresh the baseline but do not fail the gate.
+// Exit codes: 0 ok, 1 regression / missing rows, 2 usage or parse error.
+//
+// The parser handles exactly the flat document BenchJson emits — an
+// object with a "rows" array of one-line objects — so no JSON library is
+// needed.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string model;
+  std::string system;
+  std::string metric;
+  double x = 0.0;
+  double value = 0.0;
+};
+
+// Extracts the string value of `"key": "..."` within `object`, or "".
+std::string StringField(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = object.find(needle);
+  if (at == std::string::npos) {
+    return "";
+  }
+  const size_t start = at + needle.size();
+  const size_t end = object.find('"', start);
+  return end == std::string::npos ? "" : object.substr(start, end - start);
+}
+
+// Extracts the numeric value of `"key": N` within `object`.
+bool NumberField(const std::string& object, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = object.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  return std::sscanf(object.c_str() + at + needle.size(), "%lf", out) == 1;
+}
+
+bool ParseRows(const std::string& path, std::vector<Row>* rows) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "perf_diff: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string text = os.str();
+  const size_t rows_at = text.find("\"rows\"");
+  if (rows_at == std::string::npos) {
+    std::cerr << "perf_diff: no \"rows\" array in " << path << "\n";
+    return false;
+  }
+  // Each row object is brace-delimited and contains no nested braces.
+  size_t pos = text.find('{', rows_at);
+  while (pos != std::string::npos) {
+    const size_t end = text.find('}', pos);
+    if (end == std::string::npos) {
+      break;
+    }
+    const std::string object = text.substr(pos, end - pos + 1);
+    Row row;
+    row.model = StringField(object, "model");
+    row.system = StringField(object, "system");
+    row.metric = StringField(object, "metric");
+    if (!row.metric.empty() && NumberField(object, "x", &row.x) &&
+        NumberField(object, "value", &row.value)) {
+      rows->push_back(row);
+    }
+    pos = text.find('{', end);
+  }
+  return true;
+}
+
+std::string RowKey(const Row& row) {
+  char x[32];
+  std::snprintf(x, sizeof(x), "%.6f", row.x);
+  return row.model + " / " + row.system + " / " + row.metric + " @ x=" + x;
+}
+
+const Row* FindMatch(const std::vector<Row>& rows, const Row& want) {
+  for (const Row& row : rows) {
+    if (row.model == want.model && row.system == want.system && row.metric == want.metric &&
+        std::fabs(row.x - want.x) < 1e-9) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double rel_tol = 0.05;
+  double abs_tol = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rel_tol" && i + 1 < argc) {
+      rel_tol = std::atof(argv[++i]);
+    } else if (arg == "--abs_tol" && i + 1 < argc) {
+      abs_tol = std::atof(argv[++i]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: perf_diff <baseline.json> <candidate.json>"
+              << " [--rel_tol 0.05] [--abs_tol 2.0]\n";
+    return 2;
+  }
+  std::vector<Row> baseline;
+  std::vector<Row> candidate;
+  if (!ParseRows(paths[0], &baseline) || !ParseRows(paths[1], &candidate)) {
+    return 2;
+  }
+  if (baseline.empty()) {
+    std::cerr << "perf_diff: baseline " << paths[0] << " has no rows\n";
+    return 2;
+  }
+
+  int regressions = 0;
+  int improvements = 0;
+  for (const Row& base : baseline) {
+    const Row* cand = FindMatch(candidate, base);
+    if (cand == nullptr) {
+      std::cout << "MISSING    " << RowKey(base) << " (present in baseline only)\n";
+      ++regressions;
+      continue;
+    }
+    const double slack = std::max(abs_tol, rel_tol * std::fabs(base.value));
+    const double delta = cand->value - base.value;
+    if (delta < -slack) {
+      std::printf("REGRESSION %s: %.3f -> %.3f (%.3f below tolerance %.3f)\n",
+                  RowKey(base).c_str(), base.value, cand->value, -delta, slack);
+      ++regressions;
+    } else if (delta > slack) {
+      ++improvements;
+    }
+  }
+  std::printf("perf_diff: %zu rows, %d regressions, %d improvements beyond tolerance"
+              " (rel_tol %.3f, abs_tol %.3f)\n",
+              baseline.size(), regressions, improvements, rel_tol, abs_tol);
+  if (improvements > 0 && regressions == 0) {
+    std::cout << "note: consistent improvements — consider refreshing bench/baselines/ "
+                 "(run the bench with --smoke --json and commit the output)\n";
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -4,6 +4,10 @@
 #ifndef ADASERVE_BENCH_SWEEP_COMMON_H_
 #define ADASERVE_BENCH_SWEEP_COMMON_H_
 
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +44,115 @@ inline std::vector<SweepPoint> RunAllSystems(const Experiment& exp,
     points.push_back({kind, x, result.metrics});
   }
   return points;
+}
+
+// --- CI perf tracking: machine-readable bench output ---
+
+// Shared flags of every bench_fig*/bench_table* binary.
+struct BenchArgs {
+  // --json <path> (or --json=<path>): additionally emit the bench's key
+  // series as a flat JSON document for the CI perf job.
+  std::string json_path;
+  // --smoke: CI-sized sweep — short trace, endpoint-only grids — so the
+  // perf job finishes in unit-test time. Baselines under bench/baselines/
+  // are recorded in this mode.
+  bool smoke = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    }
+  }
+  return args;
+}
+
+// Trace length honoring --smoke.
+inline double SweepDurationFor(const BenchArgs& args) { return args.smoke ? 10.0 : kSweepDuration; }
+
+// Sweep grid honoring --smoke: endpoints only, so the perf job still sees
+// both the easy and the saturated end of the curve.
+inline std::vector<double> GridFor(const BenchArgs& args, std::vector<double> grid) {
+  if (!args.smoke || grid.size() <= 2) {
+    return grid;
+  }
+  return {grid.front(), grid.back()};
+}
+
+// Collects (model, system, metric, x) -> value rows and writes them as one
+// flat JSON document. The format is deliberately minimal — an object with
+// a "bench" name and a "rows" array of flat objects — so bench/perf_diff.cc
+// can parse it without a JSON library.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& model, const std::string& system, const std::string& metric,
+           double x, double value) {
+    rows_.push_back(Row{model, system, metric, x, value});
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"" << bench_ << "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      os << "    {\"model\": \"" << r.model << "\", \"system\": \"" << r.system
+         << "\", \"metric\": \"" << r.metric << "\", \"x\": " << FmtJsonNumber(r.x)
+         << ", \"value\": " << FmtJsonNumber(r.value) << "}" << (i + 1 < rows_.size() ? "," : "")
+         << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << ToString();
+    return out.good();
+  }
+
+ private:
+  struct Row {
+    std::string model;
+    std::string system;
+    std::string metric;
+    double x;
+    double value;
+  };
+
+  static std::string FmtJsonNumber(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+// Writes the JSON document when --json was given; exits non-zero on I/O
+// failure so CI never silently gates on a stale file.
+inline int FinishBench(const BenchArgs& args, const BenchJson& json) {
+  if (args.json_path.empty()) {
+    return 0;
+  }
+  if (!json.WriteTo(args.json_path)) {
+    std::cerr << "error: could not write " << args.json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << args.json_path << "\n";
+  return 0;
 }
 
 }  // namespace adaserve

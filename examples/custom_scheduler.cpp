@@ -14,21 +14,29 @@ namespace {
 using namespace adaserve;
 
 // Round-robin: each iteration decodes a rotating window of at most
-// `window` running requests — fair, SLO-blind, and batch-capped.
+// `window` running requests — fair, SLO-blind, and batch-capped. A custom
+// scheduler implements the two tick-phase hooks; the base class supplies
+// the tick protocol (admission, and in tick-native mode the mid-tick
+// admission + burst-capped prefill phases) around them.
 class RoundRobinScheduler : public Scheduler {
  public:
   explicit RoundRobinScheduler(int window) : window_(window) {}
 
   std::string_view name() const override { return "RoundRobin"; }
 
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override {
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override {
     IterationRecord record;
     if (RunFullPrefillIteration(now, pool, ctx, /*max_prefill_tokens=*/4096, record)) {
       return record;
     }
+    return DecodePhase(now, pool, ctx);
+  }
+
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override {
     std::vector<RequestId> running = RunningRequests(pool);
     if (running.empty()) {
-      return record;
+      return IterationRecord{};
     }
     std::sort(running.begin(), running.end());
     std::vector<RequestId> batch;

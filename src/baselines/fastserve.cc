@@ -4,11 +4,18 @@
 
 namespace adaserve {
 
-IterationRecord FastServeScheduler::Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+IterationRecord FastServeScheduler::DrainStep(SimTime now, RequestPool& pool,
+                                              ServingContext& ctx) {
   IterationRecord record;
   if (RunFullPrefillIteration(now, pool, ctx, config_.max_prefill_tokens, record)) {
     return record;
   }
+  return DecodePhase(now, pool, ctx);
+}
+
+IterationRecord FastServeScheduler::DecodePhase(SimTime now, RequestPool& pool,
+                                                ServingContext& ctx) {
+  IterationRecord record;
   const std::vector<RequestId> running = RunningRequests(pool);
   if (running.empty()) {
     return record;

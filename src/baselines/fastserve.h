@@ -29,7 +29,11 @@ class FastServeScheduler : public Scheduler {
   explicit FastServeScheduler(const FastServeConfig& config = {}) : config_(config) {}
 
   std::string_view name() const override { return "FastServe"; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: the MLFQ-prioritized decode batch.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   struct MlfqState {

@@ -4,11 +4,12 @@
 
 namespace adaserve {
 
-IterationRecord PriorityScheduler::Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+IterationRecord PriorityScheduler::DrainStep(SimTime now, RequestPool& pool,
+                                             ServingContext& ctx) {
   IterationRecord record;
   // Urgent decodes take precedence even over pending prefills of non-urgent
   // requests; urgent prefills run before anything else.
-  std::vector<RequestId> running = RunningRequests(pool);
+  const std::vector<RequestId> running = RunningRequests(pool);
   std::vector<RequestId> urgent;
   for (RequestId id : running) {
     if (pool.Get(id).category == config_.urgent_category) {
@@ -38,6 +39,18 @@ IterationRecord PriorityScheduler::Step(SimTime now, RequestPool& pool, ServingC
     return record;
   }
   return RunDecodeIteration(now, pool, ctx, running);
+}
+
+IterationRecord PriorityScheduler::DecodePhase(SimTime now, RequestPool& pool,
+                                               ServingContext& ctx) {
+  const std::vector<RequestId> running = RunningRequests(pool);
+  std::vector<RequestId> urgent;
+  for (RequestId id : running) {
+    if (pool.Get(id).category == config_.urgent_category) {
+      urgent.push_back(id);
+    }
+  }
+  return RunDecodeIteration(now, pool, ctx, urgent.empty() ? running : urgent);
 }
 
 }  // namespace adaserve

@@ -23,7 +23,12 @@ class PriorityScheduler : public Scheduler {
   explicit PriorityScheduler(const PriorityConfig& config = {}) : config_(config) {}
 
   std::string_view name() const override { return "vLLM+Priority"; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: urgent-only decode whenever any urgent
+  // request is running, otherwise the full running batch.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   PriorityConfig config_;

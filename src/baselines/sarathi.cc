@@ -6,7 +6,16 @@
 
 namespace adaserve {
 
-IterationRecord SarathiScheduler::Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+IterationRecord SarathiScheduler::DecodePhase(SimTime now, RequestPool& pool,
+                                              ServingContext& ctx) {
+  std::vector<RequestId> running = RunningRequests(pool);
+  if (static_cast<int>(running.size()) > config_.chunk_budget) {
+    running.resize(static_cast<size_t>(config_.chunk_budget));
+  }
+  return RunDecodeIteration(now, pool, ctx, running);
+}
+
+IterationRecord SarathiScheduler::DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) {
   IterationRecord record;
   const std::vector<RequestId> running = RunningRequests(pool);
   const std::vector<RequestId> prefilling = PrefillingRequests(pool);

@@ -21,7 +21,12 @@ class SarathiScheduler : public Scheduler {
   explicit SarathiScheduler(const SarathiConfig& config = {}) : config_(config) {}
 
   std::string_view name() const override { return "Sarathi-Serve"; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: the decode half of the chunk budget. Prompt
+  // chunks move to the shared burst-capped prefill phase of the tick.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   SarathiConfig config_;

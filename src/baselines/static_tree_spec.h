@@ -34,7 +34,11 @@ class StaticTreeSpecScheduler : public Scheduler {
   explicit StaticTreeSpecScheduler(const StaticTreeConfig& config = {});
 
   std::string_view name() const override { return name_; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: the fixed-topology tree speculate-verify pass.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   StaticTreeConfig config_;

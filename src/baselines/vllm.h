@@ -22,7 +22,10 @@ class VllmScheduler : public Scheduler {
   explicit VllmScheduler(const VllmConfig& config = {}) : config_(config) {}
 
   std::string_view name() const override { return "vLLM"; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   VllmConfig config_;

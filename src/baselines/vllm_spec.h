@@ -24,7 +24,11 @@ class VllmSpecScheduler : public Scheduler {
   explicit VllmSpecScheduler(const VllmSpecConfig& config = {});
 
   std::string_view name() const override { return name_; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: the k-token chain speculate-verify pass.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   VllmSpecConfig config_;

@@ -28,7 +28,11 @@ class VtcScheduler : public Scheduler {
   explicit VtcScheduler(const VtcConfig& config = {}) : config_(config) { counters_.fill(0.0); }
 
   std::string_view name() const override { return "VTC"; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: the counter-ordered fair decode batch.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
  private:
   VtcConfig config_;

@@ -77,7 +77,8 @@ IterationRecord AdaServeScheduler::PrefillOnlyStep(SimTime now, RequestPool& poo
   return record;
 }
 
-IterationRecord AdaServeScheduler::Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+IterationRecord AdaServeScheduler::DrainStep(SimTime now, RequestPool& pool,
+                                             ServingContext& ctx) {
   const std::vector<RequestId> running = RunningRequests(pool);
   const std::vector<RequestId> prefilling = PrefillingRequests(pool);
   long backlog = 0;
@@ -89,6 +90,22 @@ IterationRecord AdaServeScheduler::Step(SimTime now, RequestPool& pool, ServingC
       backlog > static_cast<long>(ctx.verify_budget * config_.backlog_threshold_factor)) {
     return PrefillOnlyStep(now, pool, ctx);
   }
+  return SpecIteration(now, pool, ctx, running, prefilling);
+}
+
+IterationRecord AdaServeScheduler::DecodePhase(SimTime now, RequestPool& pool,
+                                               ServingContext& ctx) {
+  const std::vector<RequestId> running = RunningRequests(pool);
+  if (running.empty()) {
+    return IterationRecord{};
+  }
+  return SpecIteration(now, pool, ctx, running, /*prefilling=*/{});
+}
+
+IterationRecord AdaServeScheduler::SpecIteration(SimTime now, RequestPool& pool,
+                                                 ServingContext& ctx,
+                                                 const std::vector<RequestId>& running,
+                                                 const std::vector<RequestId>& prefilling) {
   const int n = static_cast<int>(running.size());
 
   IterationRecord record;

@@ -52,13 +52,25 @@ class AdaServeScheduler : public Scheduler {
   explicit AdaServeScheduler(const AdaServeConfig& config = {}) : config_(config) {}
 
   std::string_view name() const override { return "AdaServe"; }
-  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) override;
 
   // Last iteration's (d, w) — exposed for the adaptive-control tests.
   const BeamConfig& last_beam() const { return last_beam_; }
 
+ protected:
+  IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+  // Tick-native decode phase: the speculate-select-verify pipeline over
+  // running requests with the full budget; chunked prefill moves to the
+  // shared burst-capped prefill phase of the tick.
+  IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;
+
  private:
   IterationRecord PrefillOnlyStep(SimTime now, RequestPool& pool, ServingContext& ctx);
+  // One speculate-select-verify iteration over `running`; prompts in
+  // `prefilling` are co-batched as chunked prefill (pass an empty list to
+  // run decode-only, as the tick-native decode phase does).
+  IterationRecord SpecIteration(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                const std::vector<RequestId>& running,
+                                const std::vector<RequestId>& prefilling);
 
   AdaServeConfig config_;
   // Previous iteration duration, used as the t_spec estimate in A(r).

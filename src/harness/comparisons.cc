@@ -85,4 +85,12 @@ std::vector<ComparisonPoint> RunComparison(const Experiment& exp,
   return points;
 }
 
+EngineConfig ContinuousTickConfig() {
+  EngineConfig engine;
+  engine.continuous_ticks = true;
+  engine.prefill_burst = kBurst;
+  engine.max_evictions_per_tick = 4;
+  return engine;
+}
+
 }  // namespace adaserve

@@ -52,6 +52,13 @@ std::vector<ComparisonPoint> RunComparison(const Experiment& exp,
                                            const StreamFactory& make_stream,
                                            const EngineConfig& engine = {});
 
+// Engine config of the tick-native continuous-batching mode: mid-tick
+// admission, kBurst prefill cap, bounded evict-for-admission. The
+// non-default mode exercised by tick_equivalence_test and the
+// continuous-mode engine tests; default-config runs stay byte-identical
+// to the drain-era goldens.
+EngineConfig ContinuousTickConfig();
+
 }  // namespace adaserve
 
 #endif  // ADASERVE_SRC_HARNESS_COMPARISONS_H_

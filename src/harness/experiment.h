@@ -70,6 +70,16 @@ class Experiment {
   EngineResult Run(Scheduler& scheduler, ArrivalStream& stream, const EngineConfig& engine = {},
                    int verify_budget = 0, int draft_budget = 0) const;
 
+  // Reference drain loop — the pre-tick engine: inject due arrivals,
+  // boundary admission (pool.AdmitUpTo), one Scheduler::Step per
+  // iteration. Kept as the independent oracle for tick_equivalence_test;
+  // Engine itself only speaks the Tick protocol. Honors the
+  // admission-relevant EngineConfig fields (max_active_requests,
+  // sampling_seed, mode, max_iterations); tick-native fields are ignored.
+  EngineResult RunLegacyDrainLoop(Scheduler& scheduler, std::vector<Request> requests,
+                                  const EngineConfig& engine = {}, int verify_budget = 0,
+                                  int draft_budget = 0) const;
+
  private:
   Setup setup_;
   SyntheticLm target_;

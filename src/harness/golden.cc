@@ -73,15 +73,18 @@ std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenSce
   return nullptr;
 }
 
+std::vector<Request> GoldenWorkload(const Experiment& exp, const GoldenConfig& config) {
+  return exp.RealTraceWorkload(config.duration_s, config.mean_rps, WorkloadConfig{},
+                               config.trace_seed);
+}
+
 EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind, const GoldenConfig& config,
                              GoldenScenario scenario) {
   auto scheduler = MakeScheduler(kind);
   EngineConfig engine;
   engine.sampling_seed = config.sampling_seed;
   if (scenario == GoldenScenario::kRealTrace) {
-    std::vector<Request> workload = exp.RealTraceWorkload(
-        config.duration_s, config.mean_rps, WorkloadConfig{}, config.trace_seed);
-    return exp.Run(*scheduler, std::move(workload), engine);
+    return exp.Run(*scheduler, GoldenWorkload(exp, config), engine);
   }
   // Streaming scenarios exercise the full lazy path: bounded arrival
   // horizon, incremental metrics, finished-request retirement.

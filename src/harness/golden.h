@@ -46,6 +46,12 @@ std::string GoldenScenarioPrefix(GoldenScenario scenario);
 std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenScenario scenario,
                                                 const GoldenConfig& config = {});
 
+// The canonical fixed-seed vector workload of the kRealTrace scenario —
+// what RunGoldenSystem replays. Exposed so equivalence tests can drive
+// alternative loops (legacy drain, tick-native) over the exact golden
+// trace.
+std::vector<Request> GoldenWorkload(const Experiment& exp, const GoldenConfig& config = {});
+
 // Runs `kind` on the canonical workload of `scenario` and returns its
 // result.
 EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind,

@@ -37,24 +37,24 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
   ctx.draft_budget =
       draft_budget > 0 ? draft_budget : DeriveDraftBudget(*target_latency_, *draft_latency_);
   ctx.rng = &rng;
+  ctx.tick.max_active = config_.max_active_requests;
+  ctx.tick.continuous = config_.continuous_ticks;
+  ctx.tick.prefill_burst = config_.prefill_burst;
+  ctx.tick.max_evictions = config_.max_evictions_per_tick;
 
   // Pull until this many requests sit in the admission queue: admission can
-  // consume at most max_active_requests per iteration, so holding that many
+  // consume at most max_active_requests per tick, so holding that many
   // plus the horizon makes lazy injection indistinguishable from the old
   // inject-everything-due loop.
   const size_t pull_target = static_cast<size_t>(config_.max_active_requests) +
                              static_cast<size_t>(config_.arrival_horizon);
-  MetricsAccumulator acc;
-  auto retire_sink = [&acc](const Request& req) { acc.AddRequest(req); };
-
-  EngineResult result;
-  SimTime now = 0.0;
   SimTime last_arrival = 0.0;
-  long iterations = 0;
-  while (!stream.Exhausted() || pool.HasWork()) {
-    ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
-    // Pull all arrivals at or before `now`, up to the horizon.
-    while (!stream.Exhausted() && stream.Peek()->arrival <= now &&
+  // Makes arrivals due by `t` visible in the admission queue, bounded by
+  // the horizon. Shared between the engine's boundary pull and the
+  // scheduler's mid-tick admission phase (tick-native mode).
+  auto pull_arrivals = [&](SimTime t) {
+    int pulled = 0;
+    while (!stream.Exhausted() && stream.Peek()->arrival <= t &&
            pool.queued().size() < pull_target) {
       Request req = stream.Next();
       ADASERVE_CHECK(req.arrival >= last_arrival)
@@ -62,25 +62,38 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
           << last_arrival;
       last_arrival = req.arrival;
       pool.AddArrival(req);
+      ++pulled;
     }
-    // Admission is uniform across systems: FIFO while KV and slots allow.
-    pool.AdmitUpTo(config_.max_active_requests);
+    return pulled;
+  };
+  ctx.pull_arrivals = pull_arrivals;
+
+  MetricsAccumulator acc;
+  auto retire_sink = [&acc](const Request& req) { acc.AddRequest(req); };
+
+  EngineResult result;
+  SimTime now = 0.0;
+  long iterations = 0;
+  while (!stream.Exhausted() || pool.HasWork()) {
+    ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
+    pull_arrivals(now);
+    const TickResult tick = scheduler.Tick(now, pool, ctx);
     result.peak_resident_requests = std::max(result.peak_resident_requests, pool.resident_count());
-    if (pool.active().empty()) {
-      // Nothing admitted. Either the queue is empty (idle until the next
-      // arrival) or admission is blocked, which cannot happen with an empty
-      // active set given worst-case reservations.
+    if (!tick.MadeProgress()) {
+      // Nothing was admissible and nothing ran. Either the queue is empty
+      // (idle until the next arrival) or admission is blocked, which
+      // cannot happen with an empty active set given worst-case
+      // reservations.
+      ADASERVE_CHECK(pool.active().empty()) << scheduler.name() << " made no progress";
       ADASERVE_CHECK(pool.queued().empty()) << "admission deadlock";
       ADASERVE_CHECK(!stream.Exhausted()) << "engine stalled with no work";
       now = stream.Peek()->arrival;
       continue;
     }
-    const IterationRecord record = scheduler.Step(now, pool, ctx);
-    ADASERVE_CHECK(record.duration > 0.0) << scheduler.name() << " made no progress";
-    now += record.duration;
-    acc.AddIteration(record);
+    now += tick.record.duration;
+    acc.AddIteration(tick.record);
     if (config_.record_iterations) {
-      result.iterations.push_back(record);
+      result.iterations.push_back(tick.record);
     }
     if (config_.retire_finished) {
       pool.RetireFinishedPrefix(retire_sink);

@@ -1,11 +1,12 @@
 // Discrete-event serving engine.
 //
 // The engine replays an arrival trace against a scheduler: it pulls
-// arrivals whose time has come from an ArrivalStream, asks the scheduler
-// for one iteration, advances the clock by the iteration's latency, and
-// repeats until the stream is exhausted and every request finishes (the
-// run drains). It is the execution-engine half of Fig. 6 with GPU time
-// supplied by the roofline model.
+// arrivals whose time has come from an ArrivalStream, hands the scheduler
+// one Tick (the tick itself admits, prefills, decodes, and — in
+// tick-native mode — admits again mid-tick), advances the clock by the
+// tick's duration, and repeats until the stream is exhausted and every
+// request finishes. It is the execution-engine half of Fig. 6 with GPU
+// time supplied by the roofline model; all policy lives in the tick.
 //
 // Arrivals are consumed lazily: at most max_active_requests +
 // arrival_horizon requests are pulled ahead of admission, so a
@@ -48,6 +49,16 @@ struct EngineConfig {
   // and EngineResult::requests is left empty. Metrics are bit-identical
   // to a non-retiring run.
   bool retire_finished = false;
+  // Tick-native continuous batching: admission moves inside the tick
+  // (including mid-tick, after the decode phase) and prefill runs as a
+  // shared burst-capped phase. Default off: boundary admission +
+  // drain-style iterations, byte-identical to the historical loop.
+  bool continuous_ticks = false;
+  // kBurst-style per-request prefill cap of a tick-native prefill phase.
+  int prefill_burst = kBurst;
+  // Tick-native mode: recompute-style evictions allowed per tick when the
+  // admission-queue head is blocked on KV (0 disables eviction).
+  int max_evictions_per_tick = 0;
 };
 
 struct EngineResult {

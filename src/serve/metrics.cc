@@ -63,6 +63,8 @@ void MetricsAccumulator::AddIteration(const IterationRecord& rec) {
   m_.verify_time += rec.verify_time;
   m_.prefill_time += rec.prefill_time;
   m_.total_time += rec.duration;
+  m_.admissions += rec.admitted;
+  m_.evictions += rec.evicted;
 }
 
 Metrics MetricsAccumulator::Finalize(SimTime makespan) const {

@@ -48,6 +48,11 @@ struct Metrics {
   SimTime prefill_time = 0.0;
   SimTime total_time = 0.0;
 
+  // Tick-protocol counters: admissions and recompute-style evictions
+  // summed over all ticks. In boundary mode evictions are always 0.
+  long admissions = 0;
+  long evictions = 0;
+
   double AttainmentPct() const {
     return finished == 0 ? 100.0 : 100.0 * attained / static_cast<double>(finished);
   }

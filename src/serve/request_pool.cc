@@ -60,6 +60,56 @@ int RequestPool::AdmitUpTo(int max_active) {
   return admitted;
 }
 
+RequestId RequestPool::AdmitWithEviction(int max_active, int max_evictions, int* evicted) {
+  RequestId admitted = TryAdmit(max_active);
+  if (admitted != kInvalidRequestId || queued_.empty() ||
+      static_cast<int>(active_.size()) >= max_active) {
+    return admitted;  // Admitted normally, or blocked on slots, not KV.
+  }
+  // The head is blocked on KV. Set it aside so evicted requests queue
+  // behind it, then evict newest-admitted zero-output requests until its
+  // worst-case footprint fits.
+  const RequestId head = queued_.front();
+  queued_.pop_front();
+  const long footprint = Get(head).prompt_len + Get(head).target_output_len;
+  int evictions = 0;
+  while (evictions < max_evictions && !kv_->CanReserve(footprint)) {
+    RequestId victim = kInvalidRequestId;
+    for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
+      if (Get(*it).committed_len == 0) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == kInvalidRequestId) {
+      break;  // Everything active has committed output; nothing evictable.
+    }
+    // Victims are picked newest-first and each push_front reverses, so the
+    // queue ends up holding them in ascending (arrival) order.
+    Evict(victim);
+    ++evictions;
+  }
+  queued_.push_front(head);
+  if (evicted != nullptr) {
+    *evicted += evictions;
+  }
+  return TryAdmit(max_active);
+}
+
+void RequestPool::Evict(RequestId id) {
+  Request& req = Get(id);
+  ADASERVE_CHECK(req.state == RequestState::kPrefilling || req.state == RequestState::kRunning)
+      << "evict on inactive " << id;
+  ADASERVE_CHECK(req.committed_len == 0) << "evict would discard committed output of " << id;
+  auto it = std::find(active_.begin(), active_.end(), id);
+  ADASERVE_CHECK(it != active_.end()) << "evicted request not active " << id;
+  active_.erase(it);
+  kv_->Release(id);
+  req.prefill_progress = 0;  // Recompute-style: prompt work is redone.
+  req.state = RequestState::kQueued;
+  queued_.push_front(id);
+}
+
 void RequestPool::AdvancePrefill(RequestId id, int chunk) {
   Request& req = Get(id);
   ADASERVE_CHECK(req.state == RequestState::kPrefilling) << "prefill on non-prefilling " << id;

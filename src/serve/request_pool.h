@@ -47,6 +47,26 @@ class RequestPool {
   // Admits FIFO until blocked; returns number admitted.
   int AdmitUpTo(int max_active);
 
+  // Admission under KV pressure (the boundary admission phase of a
+  // tick-native tick uses this): tries to admit the queue head, and when
+  // it is blocked on KV alone, evicts newest-admitted requests
+  // with no committed output (recompute-style: KV released, prefill
+  // progress reset) until the head fits, at most `max_evictions` of them.
+  // Evicted requests re-enter the queue immediately behind the head in
+  // their original arrival order, so they are retried before older queued
+  // work and FIFO fairness is preserved. `*evicted` (when non-null) is
+  // incremented per eviction. Returns the admitted id or
+  // kInvalidRequestId (evictions already performed are kept either way).
+  RequestId AdmitWithEviction(int max_active, int max_evictions, int* evicted = nullptr);
+
+  // Eviction hook (recompute-style): releases the request's KV, resets
+  // its prefill progress, and returns it to the front of the admission
+  // queue, so a scheduler can drop a request from the batch mid-flight.
+  // Only requests with no committed output are evictable — their
+  // recompute cost is prompt work alone, so no generated tokens are ever
+  // discarded.
+  void Evict(RequestId id);
+
   // Records `chunk` prompt tokens prefilled at time `now`. When the prompt
   // completes, the request transitions to kRunning; the caller then commits
   // the first output token.

@@ -1,6 +1,7 @@
 #include "src/serve/scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/logging.h"
 #include "src/spec/verifier.h"
@@ -92,6 +93,144 @@ IterationRecord RunDecodeIteration(SimTime now, RequestPool& pool, ServingContex
   record.decode_requests = static_cast<int>(ids.size());
   record.committed_tokens = static_cast<int>(ids.size());
   return record;
+}
+
+int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted) {
+  int admitted = pool.AdmitUpTo(opts.max_active);
+  if (opts.max_evictions > 0) {
+    int evictions_left = opts.max_evictions;
+    while (evictions_left > 0 && !pool.queued().empty()) {
+      int evicted_now = 0;
+      const RequestId id = pool.AdmitWithEviction(opts.max_active, evictions_left, &evicted_now);
+      evictions_left -= evicted_now;
+      if (evicted != nullptr) {
+        *evicted += evicted_now;
+      }
+      if (id == kInvalidRequestId) {
+        break;
+      }
+      ++admitted;
+      // The freed headroom may unblock plain FIFO admission too.
+      admitted += pool.AdmitUpTo(opts.max_active);
+    }
+  }
+  return admitted;
+}
+
+int MidTickAdmitPhase(SimTime t, RequestPool& pool, ServingContext& ctx) {
+  if (ctx.pull_arrivals) {
+    ctx.pull_arrivals(t);
+  }
+  return pool.AdmitUpTo(ctx.tick.max_active);
+}
+
+IterationRecord RunBudgetedPrefillPhase(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                        int budget, int burst) {
+  IterationRecord record;
+  if (budget <= 0) {
+    return record;
+  }
+  const std::vector<RequestId> prefilling = PrefillingRequests(pool);
+  if (prefilling.empty()) {
+    return record;
+  }
+  const int per_request_cap = burst > 0 ? burst : std::numeric_limits<int>::max();
+  struct Chunk {
+    RequestId id;
+    int tokens;
+  };
+  std::vector<Chunk> chunks;
+  std::vector<RequestId> ids;
+  int batch_tokens = 0;
+  for (RequestId id : prefilling) {
+    if (batch_tokens >= budget) {
+      break;
+    }
+    const Request& req = pool.Get(id);
+    const int remaining = req.prompt_len - req.prefill_progress;
+    const int take = std::min({remaining, per_request_cap, budget - batch_tokens});
+    if (take > 0) {
+      chunks.push_back({id, take});
+      ids.push_back(id);
+      batch_tokens += take;
+    }
+  }
+  if (chunks.empty()) {
+    return record;
+  }
+  const SimTime latency =
+      ctx.target_latency->PrefillLatency(batch_tokens, pool.SumContextTokens(ids));
+  const SimTime end = now + latency;
+  for (const Chunk& c : chunks) {
+    pool.AdvancePrefill(c.id, c.tokens);
+    record.prefill_tokens += c.tokens;
+    Request& req = pool.Get(c.id);
+    if (req.PrefillDone()) {
+      const Token first =
+          DecodeOneToken(*ctx.target, req.stream_seed, req.output, ctx.mode, *ctx.rng);
+      pool.CommitToken(c.id, first, end);
+      ++record.committed_tokens;
+    }
+  }
+  record.duration = latency;
+  record.prefill_time = latency;
+  return record;
+}
+
+TickResult RunContinuousTick(SimTime now, RequestPool& pool, ServingContext& ctx,
+                             const TickPhaseFn& decode_phase) {
+  int evicted = 0;
+  const int admitted = TickAdmitPhase(pool, ctx.tick, &evicted);
+
+  // Phase A: decode — every running request advances this tick.
+  TickResult tick;
+  tick.record = decode_phase(now, pool, ctx);
+  IterationRecord& rec = tick.record;
+  rec.admitted += admitted;
+  rec.evicted += evicted;
+  const SimTime phase_a_end = now + rec.duration;
+
+  // Phase B: mid-tick admission — arrivals that landed while phase A
+  // occupied the GPU join this very tick's prefill pass.
+  rec.admitted += MidTickAdmitPhase(phase_a_end, pool, ctx);
+
+  // Phase C: burst-capped prefill on the leftover token budget. Phase A's
+  // target-forward consumption is its batch roots plus every token
+  // submitted to the verifier (committed tokens are drawn from the
+  // verified ones, so they must not be double-counted). A floor of one
+  // burst guarantees queued prompts keep making TTFT progress even when
+  // decoding consumed the whole budget.
+  const int leftover = ctx.verify_budget - rec.decode_requests - rec.verified_tokens;
+  const int floor = ctx.tick.prefill_burst > 0 ? ctx.tick.prefill_burst : kBurst;
+  const int budget = std::max(leftover, floor);
+  const IterationRecord prefill =
+      RunBudgetedPrefillPhase(phase_a_end, pool, ctx, budget, ctx.tick.prefill_burst);
+  rec.duration += prefill.duration;
+  rec.prefill_time += prefill.prefill_time;
+  rec.prefill_tokens += prefill.prefill_tokens;
+  rec.committed_tokens += prefill.committed_tokens;
+  return tick;
+}
+
+TickResult Scheduler::Tick(SimTime now, RequestPool& pool, ServingContext& ctx) {
+  if (ctx.tick.continuous) {
+    return RunContinuousTick(now, pool, ctx,
+                             [this](SimTime t, RequestPool& p, ServingContext& c) {
+                               return DecodePhase(t, p, c);
+                             });
+  }
+  // Boundary mode: admission at tick start, then one drain-style
+  // iteration — the exact sequence of the historical engine loop.
+  TickResult tick;
+  tick.record.admitted = TickAdmitPhase(pool, ctx.tick, &tick.record.evicted);
+  if (!pool.active().empty()) {
+    const int admitted = tick.record.admitted;
+    const int evicted = tick.record.evicted;
+    tick.record = DrainStep(now, pool, ctx);
+    tick.record.admitted += admitted;
+    tick.record.evicted += evicted;
+  }
+  return tick;
 }
 
 }  // namespace adaserve

@@ -1,14 +1,25 @@
 // Scheduler interface and shared serving machinery.
 //
-// Every serving system — AdaServe and all six baselines — implements
-// Scheduler::Step: given the current time and the request pool, perform one
-// scheduling iteration (admit, prefill, decode/speculate/verify), mutate
-// request state through the pool, and report how long the iteration took and
-// where the time went. The engine (engine.h) is policy-free: it only injects
-// arrivals and advances the clock.
+// Every serving system — AdaServe and all six baselines — speaks the
+// tick-based continuous-batching protocol: the engine calls
+// Scheduler::Tick once per event-loop iteration, and the tick itself
+// performs admission, the scheduler's decode/speculate/verify phase, and
+// (in tick-native mode) mid-tick admission plus a burst-capped prefill
+// phase. Requests therefore join and leave batches mid-flight instead of
+// only at drain boundaries; the engine (engine.h) stays policy-free and
+// only feeds arrivals and advances the clock.
+//
+// Schedulers implement two phase hooks rather than a monolithic step:
+//   - DrainStep:   the legacy drain-style iteration (boundary mode). The
+//                  default-config engine runs exactly this after boundary
+//                  admission, byte-identical to the historical loop.
+//   - DecodePhase: phase A of a tick-native tick — advance running
+//                  requests only; the shared tick machinery then handles
+//                  mid-tick admission and budgeted prefill (phase B/C).
 #ifndef ADASERVE_SRC_SERVE_SCHEDULER_H_
 #define ADASERVE_SRC_SERVE_SCHEDULER_H_
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -20,7 +31,30 @@
 
 namespace adaserve {
 
-// Shared services handed to schedulers each step. Non-owning.
+// Default per-request prefill token cap of one tick-native prefill phase
+// (the UMA-Serve kBurst limit): one very long prompt cannot consume an
+// entire prefill pass, so TTFT of the prompts queued behind it stays
+// bounded by ~budget/kBurst peers per tick.
+inline constexpr int kBurst = 512;
+
+// Per-tick policy knobs the engine hands to the scheduler. In boundary
+// mode (continuous == false) only max_active matters and ticks reproduce
+// the legacy admit-then-drain loop exactly.
+struct TickOptions {
+  // Upper bound on concurrently admitted requests (vLLM max_num_seqs).
+  int max_active = 256;
+  // Tick-native continuous batching: admission moves inside the tick
+  // (including mid-tick, after the decode phase) and prefill runs as a
+  // shared burst-capped phase.
+  bool continuous = false;
+  // kBurst-style per-request prefill cap of the tick's prefill phase.
+  int prefill_burst = kBurst;
+  // Continuous mode: max recompute-style evictions per boundary admission
+  // phase (0 disables evict-for-admission).
+  int max_evictions = 0;
+};
+
+// Shared services handed to schedulers each tick. Non-owning.
 struct ServingContext {
   const SyntheticLm* target = nullptr;
   const DraftLm* draft = nullptr;
@@ -33,6 +67,13 @@ struct ServingContext {
   int draft_budget = 256;
   // RNG stream for target sampling / verification.
   Rng* rng = nullptr;
+  // Tick policy (engine config projected onto the scheduler).
+  TickOptions tick;
+  // Engine-provided: makes stream arrivals due by the given time visible
+  // in the pool's admission queue and returns how many were pulled. Null
+  // when the driver injects arrivals itself; mid-tick admission then only
+  // sees what is already queued.
+  std::function<int(SimTime)> pull_arrivals;
 };
 
 // Where one iteration's time went. Speculation/selection/verification map to
@@ -47,6 +88,16 @@ struct IterationRecord {
   int decode_requests = 0;   // requests that received decode service
   int verified_tokens = 0;   // speculated tokens submitted to the verifier
   int committed_tokens = 0;  // output tokens committed
+  int admitted = 0;          // requests admitted during this tick
+  int evicted = 0;           // requests evicted (recompute-style) this tick
+};
+
+// Result of one scheduler tick.
+struct TickResult {
+  IterationRecord record;
+  // A tick makes progress iff it consumed simulated time. A no-progress
+  // tick tells the engine nothing was admissible: idle until next arrival.
+  bool MadeProgress() const { return record.duration > 0.0; }
 };
 
 class Scheduler {
@@ -55,9 +106,30 @@ class Scheduler {
 
   virtual std::string_view name() const = 0;
 
-  // Runs one iteration starting at `now`. Must make progress (positive
-  // duration) whenever the pool has admissible or active work.
-  virtual IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) = 0;
+  // Runs one tick starting at `now`: boundary admission, then either the
+  // drain-style iteration (boundary mode) or the shared continuous-tick
+  // phases around DecodePhase (tick-native mode). Must make progress
+  // whenever the pool has admissible or active work. Overridable for
+  // schedulers that want to own the whole tick.
+  virtual TickResult Tick(SimTime now, RequestPool& pool, ServingContext& ctx);
+
+  // Legacy drain-loop entry point: one drain-style iteration with
+  // admission handled by the caller. Kept public for reference drivers
+  // (tick_equivalence_test pins Engine ticks against it); the engine
+  // itself only calls Tick().
+  IterationRecord Step(SimTime now, RequestPool& pool, ServingContext& ctx) {
+    return DrainStep(now, pool, ctx);
+  }
+
+ protected:
+  // Drain-style iteration (admit/prefill/decode in one scheduler-owned
+  // pass). Assumes admission already ran and the pool has active work.
+  virtual IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) = 0;
+
+  // Phase A of a tick-native tick: advance running requests only (decode /
+  // speculate-verify); prefill and admission belong to the shared phases.
+  // Must return an empty record when nothing is running.
+  virtual IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) = 0;
 };
 
 // --- shared building blocks used by multiple schedulers ---
@@ -79,6 +151,40 @@ std::vector<RequestId> RunningRequests(const RequestPool& pool);
 
 // Ids of active requests in kPrefilling state.
 std::vector<RequestId> PrefillingRequests(const RequestPool& pool);
+
+// --- tick-phase variants of the shared building blocks ---
+
+// Boundary admission phase: FIFO admission up to the slot cap. With
+// opts.max_evictions > 0, a queue head blocked on KV may evict
+// newest-admitted zero-output requests (recompute-style) to make room;
+// the eviction count is accumulated into *evicted when non-null.
+int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted = nullptr);
+
+// Mid-tick admission phase: pulls arrivals due by `t` (via
+// ctx.pull_arrivals, when set) and admits FIFO. Requests arriving while
+// the decode phase occupied the GPU join this tick's prefill phase instead
+// of waiting for the next boundary — the admission latency the drain loop
+// could not avoid.
+int MidTickAdmitPhase(SimTime t, RequestPool& pool, ServingContext& ctx);
+
+// Budgeted prefill phase: one chunked-prefill pass over prefilling
+// requests, FIFO by id, spending at most `budget` prompt tokens with at
+// most `burst` per request (kBurst cap; <= 0 means uncapped). Prompts that
+// complete commit their first output token at the pass's end time. Returns
+// an empty record when there is nothing to prefill or no budget.
+IterationRecord RunBudgetedPrefillPhase(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                        int budget, int burst);
+
+// Scheduler-specific phase-A body used by RunContinuousTick.
+using TickPhaseFn = std::function<IterationRecord(SimTime, RequestPool&, ServingContext&)>;
+
+// The shared tick-native tick:
+//   boundary admission -> decode phase (every running request advances) ->
+//   mid-tick admission at the decode phase's end time -> burst-capped
+//   prefill phase on the leftover token budget.
+// The phases' times and token counts merge into one IterationRecord.
+TickResult RunContinuousTick(SimTime now, RequestPool& pool, ServingContext& ctx,
+                             const TickPhaseFn& decode_phase);
 
 }  // namespace adaserve
 

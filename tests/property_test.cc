@@ -9,12 +9,13 @@
 namespace adaserve {
 namespace {
 
-using PropertyParams = std::tuple<SystemKind, uint64_t>;
+// (system, trace seed, tick-native continuous mode?)
+using PropertyParams = std::tuple<SystemKind, uint64_t, bool>;
 
 class ServingProperties : public ::testing::TestWithParam<PropertyParams> {};
 
 TEST_P(ServingProperties, InvariantsHoldEndToEnd) {
-  const auto [kind, seed] = GetParam();
+  const auto [kind, seed, continuous] = GetParam();
   Experiment exp(TestSetup());
   TraceConfig trace;
   trace.duration = 6.0;
@@ -42,27 +43,39 @@ TEST_P(ServingProperties, InvariantsHoldEndToEnd) {
   ctx.verify_budget = DeriveTokenBudget(exp.target_latency());
   ctx.draft_budget = DeriveDraftBudget(exp.target_latency(), exp.draft_latency());
   ctx.rng = &rng;
+  ctx.tick.max_active = 256;
+  ctx.tick.continuous = continuous;
+  ctx.tick.max_evictions = continuous ? 4 : 0;
 
   SimTime now = 0.0;
   size_t next = 0;
-  std::vector<IterationRecord> iterations;
-  while (pool.finished_count() < workload.size()) {
-    while (next < workload.size() && workload[next].arrival <= now) {
+  // Arrival injection shared between the driver loop and the scheduler's
+  // mid-tick admission phase (continuous mode).
+  auto pull_arrivals = [&](SimTime t) {
+    int pulled = 0;
+    while (next < workload.size() && workload[next].arrival <= t) {
       pool.AddArrival(workload[next]);
       ++next;
+      ++pulled;
     }
-    pool.AdmitUpTo(256);
-    if (pool.active().empty()) {
+    return pulled;
+  };
+  ctx.pull_arrivals = pull_arrivals;
+  std::vector<IterationRecord> iterations;
+  while (pool.finished_count() < workload.size()) {
+    pull_arrivals(now);
+    const TickResult tick = scheduler->Tick(now, pool, ctx);
+    // KV accounting never exceeds capacity, mid-tick admissions included.
+    ASSERT_LE(kv.used_tokens(), kv.capacity_tokens());
+    if (!tick.MadeProgress()) {
+      ASSERT_TRUE(pool.active().empty());
+      ASSERT_TRUE(pool.queued().empty());
       ASSERT_LT(next, workload.size());
       now = workload[next].arrival;
       continue;
     }
-    const IterationRecord rec = scheduler->Step(now, pool, ctx);
-    ASSERT_GT(rec.duration, 0.0);
-    // KV accounting never exceeds capacity.
-    ASSERT_LE(kv.used_tokens(), kv.capacity_tokens());
-    now += rec.duration;
-    iterations.push_back(rec);
+    now += tick.record.duration;
+    iterations.push_back(tick.record);
     ASSERT_LT(iterations.size(), 200000u) << "runaway simulation";
   }
 
@@ -108,7 +121,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          SystemKind::kSarathi, SystemKind::kVllmSpec6,
                                          SystemKind::kVllmPriority, SystemKind::kFastServe,
                                          SystemKind::kVtc),
-                       ::testing::Values(1u, 2u, 3u)),
+                       ::testing::Values(1u, 2u, 3u), ::testing::Bool()),
     [](const ::testing::TestParamInfo<PropertyParams>& info) {
       std::string name(SystemName(std::get<0>(info.param)));
       for (char& c : name) {
@@ -116,7 +129,8 @@ INSTANTIATE_TEST_SUITE_P(
           c = '_';
         }
       }
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_continuous" : "_boundary");
     });
 
 }  // namespace

@@ -137,6 +137,95 @@ TEST_F(RequestPoolTest, HasWorkReflectsState) {
   EXPECT_FALSE(pool_.HasWork());
 }
 
+TEST_F(RequestPoolTest, EvictReleasesKvResetsPrefillAndRequeuesFront) {
+  pool_.AddArrival(MakeRequest(0, 20, 4));
+  pool_.AddArrival(MakeRequest(1, 20, 4));
+  pool_.AdmitUpTo(1);  // r0 active, r1 still queued
+  pool_.AdvancePrefill(0, 12);
+  pool_.Evict(0);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kQueued);
+  EXPECT_EQ(pool_.Get(0).prefill_progress, 0);  // recompute-style
+  EXPECT_EQ(kv_.HeldBy(0), 0);
+  EXPECT_TRUE(pool_.active().empty());
+  // Evicted requests are retried before older queued work.
+  ASSERT_EQ(pool_.queued().size(), 2u);
+  EXPECT_EQ(pool_.queued()[0], 0);
+  EXPECT_EQ(pool_.queued()[1], 1);
+}
+
+TEST_F(RequestPoolTest, AdmitWithEvictionMakesRoomForBlockedHead) {
+  // Capacity 64 tokens: two 20+4 requests (32 blocks each) fill it.
+  KvCache tiny(64.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(MakeRequest(0, 20, 4));
+  pool.AddArrival(MakeRequest(1, 20, 4));
+  pool.AddArrival(MakeRequest(2, 20, 4));
+  EXPECT_EQ(pool.AdmitUpTo(10), 2);
+  int evicted = 0;
+  EXPECT_EQ(pool.AdmitWithEviction(10, /*max_evictions=*/2, &evicted), 2);
+  EXPECT_EQ(evicted, 1);
+  // The newest-admitted zero-output request (r1) was evicted; the head
+  // (r2) is now active alongside r0.
+  EXPECT_EQ(pool.Get(1).state, RequestState::kQueued);
+  EXPECT_EQ(pool.Get(2).state, RequestState::kPrefilling);
+  ASSERT_EQ(pool.queued().size(), 1u);
+  EXPECT_EQ(pool.queued().front(), 1);
+}
+
+TEST_F(RequestPoolTest, AdmitWithEvictionPreservesArrivalOrderOfVictims) {
+  // Head r2 needs 48 tokens; evicting both r0 and r1 (32 each) is the
+  // only way to fit it in a 64-token cache.
+  KvCache tiny(64.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(MakeRequest(0, 20, 4));
+  pool.AddArrival(MakeRequest(1, 20, 4));
+  pool.AddArrival(MakeRequest(2, 40, 8));
+  EXPECT_EQ(pool.AdmitUpTo(10), 2);
+  int evicted = 0;
+  EXPECT_EQ(pool.AdmitWithEviction(10, /*max_evictions=*/4, &evicted), 2);
+  EXPECT_EQ(evicted, 2);
+  // Victims are picked newest-first (r1 then r0) but re-enter the queue
+  // in their original arrival order, preserving FIFO on re-admission.
+  ASSERT_EQ(pool.queued().size(), 2u);
+  EXPECT_EQ(pool.queued()[0], 0);
+  EXPECT_EQ(pool.queued()[1], 1);
+}
+
+TEST_F(RequestPoolTest, AdmitWithEvictionSparesRequestsWithCommittedOutput) {
+  KvCache tiny(64.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(MakeRequest(0, 20, 4));
+  pool.AddArrival(MakeRequest(1, 20, 4));
+  pool.AddArrival(MakeRequest(2, 20, 4));
+  EXPECT_EQ(pool.AdmitUpTo(10), 2);
+  // r1 has committed output: evicting it would discard generated tokens,
+  // so the only candidate is r0.
+  pool.AdvancePrefill(1, 20);
+  pool.CommitToken(1, 5, 0.5);
+  int evicted = 0;
+  EXPECT_EQ(pool.AdmitWithEviction(10, /*max_evictions=*/4, &evicted), 2);
+  EXPECT_EQ(evicted, 1);
+  EXPECT_EQ(pool.Get(0).state, RequestState::kQueued);
+  EXPECT_EQ(pool.Get(1).state, RequestState::kRunning);
+}
+
+TEST_F(RequestPoolTest, AdmitWithEvictionGivesUpWhenNothingEvictable) {
+  KvCache tiny(64.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(MakeRequest(0, 20, 4));
+  pool.AddArrival(MakeRequest(1, 20, 4));
+  pool.AddArrival(MakeRequest(2, 20, 4));
+  EXPECT_EQ(pool.AdmitUpTo(10), 2);
+  for (RequestId id : {RequestId{0}, RequestId{1}}) {
+    pool.AdvancePrefill(id, 20);
+    pool.CommitToken(id, 5, 0.5);
+  }
+  int evicted = 0;
+  EXPECT_EQ(pool.AdmitWithEviction(10, /*max_evictions=*/4, &evicted), kInvalidRequestId);
+  EXPECT_EQ(evicted, 0);
+  EXPECT_EQ(pool.queued().front(), 2);  // head back where it was
+}
+
 TEST_F(RequestPoolTest, MeanAcceptedBookkeeping) {
   Request req = MakeRequest(0);
   pool_.AddArrival(req);
