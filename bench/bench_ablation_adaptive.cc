@@ -9,10 +9,11 @@
 namespace adaserve {
 namespace {
 
-void Run() {
-  std::cout << "Ablation: adaptive speculation control vs fixed (d, w)\n";
+int Run(const BenchArgs& args) {
+  SweepRunner runner(args.threads);
+  std::cout << "Ablation: adaptive speculation control vs fixed (d, w) (" << runner.threads()
+            << " threads)\n";
   const Setup setup = LlamaSetup();
-  Experiment exp(setup);
   std::cout << setup.label << ", mix 60/20/20\n\n";
 
   struct Variant {
@@ -29,24 +30,46 @@ void Run() {
       variants.push_back({"fixed d=" + std::to_string(d) + " w=" + std::to_string(w), config});
     }
   }
+  const std::vector<double> rps_grid = GridFor(args, {2.6, 3.6, 4.6});
 
-  TablePrinter table({"Variant", "RPS", "SLO Attainment(%)", "Goodput(tok/s)", "Mean acc"});
-  for (double rps : {2.6, 3.6, 4.6}) {
-    const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
+  // One cell per (rps, variant), each building its own simulator state.
+  std::vector<std::function<EngineResult()>> tasks;
+  for (double rps : rps_grid) {
     for (const Variant& v : variants) {
-      AdaServeScheduler scheduler(v.config);
-      const EngineResult result = exp.Run(scheduler, workload);
-      table.AddRow({v.label, Fmt(rps, 1), FmtPct(result.metrics.AttainmentPct()),
-                    Fmt(result.metrics.GoodputTps(), 1), Fmt(result.metrics.mean_accepted, 2)});
+      const AdaServeConfig config = v.config;
+      tasks.push_back([&setup, &args, config, rps] {
+        const Experiment exp(setup);
+        const std::vector<Request> workload =
+            exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
+        AdaServeScheduler scheduler(config);
+        return exp.Run(scheduler, workload);
+      });
+    }
+  }
+  const std::vector<Timed<EngineResult>> results = runner.Map(tasks);
+
+  BenchJson json("ablation_adaptive");
+  TablePrinter table({"Variant", "RPS", "SLO Attainment(%)", "Goodput(tok/s)", "Mean acc"});
+  size_t i = 0;
+  for (double rps : rps_grid) {
+    for (const Variant& v : variants) {
+      const Metrics& m = results[i].value.metrics;
+      table.AddRow({v.label, Fmt(rps, 1), FmtPct(m.AttainmentPct()), Fmt(m.GoodputTps(), 1),
+                    Fmt(m.mean_accepted, 2)});
+      json.Add(setup.label, v.label, "attainment_pct", rps, m.AttainmentPct());
+      json.Add(setup.label, v.label, "goodput_tps", rps, m.GoodputTps());
+      json.Add(setup.label, v.label, "wall_clock_s", rps, results[i].wall_clock_s);
+      ++i;
     }
   }
   table.Print(std::cout);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

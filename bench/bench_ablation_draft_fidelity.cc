@@ -12,29 +12,45 @@
 namespace adaserve {
 namespace {
 
-void Run() {
-  std::cout << "Ablation: draft model fidelity alpha (4.0 req/s, mix 60/20/20)\n";
-  Setup setup = LlamaSetup();
-  std::cout << setup.label << "\n\n";
+int Run(const BenchArgs& args) {
+  SweepRunner runner(args.threads);
+  std::cout << "Ablation: draft model fidelity alpha (4.0 req/s, mix 60/20/20, "
+            << runner.threads() << " threads)\n";
+  const Setup base_setup = LlamaSetup();
+  std::cout << base_setup.label << "\n\n";
+
+  const std::vector<double> alphas = {1.0, 0.9, 0.8, 0.6, 0.4, 0.2};
+  std::vector<std::function<EngineResult()>> tasks;
+  for (double alpha : alphas) {
+    tasks.push_back([&base_setup, &args, alpha] {
+      Setup setup = base_setup;
+      setup.draft_config.fidelity = alpha;
+      const Experiment exp(setup);
+      const std::vector<Request> workload =
+          exp.RealTraceWorkload(SweepDurationFor(args), 4.0, PeakMix());
+      AdaServeScheduler scheduler;
+      return exp.Run(scheduler, workload);
+    });
+  }
+  const std::vector<Timed<EngineResult>> results = runner.Map(tasks);
+
+  BenchJson json("ablation_draft_fidelity");
   TablePrinter table({"alpha", "Mean acc", "SLO Attainment(%)", "Cat1(%)", "Goodput(tok/s)"});
-  for (double alpha : {1.0, 0.9, 0.8, 0.6, 0.4, 0.2}) {
-    setup.draft_config.fidelity = alpha;
-    Experiment exp(setup);
-    const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, 4.0, PeakMix());
-    AdaServeScheduler scheduler;
-    const EngineResult result = exp.Run(scheduler, workload);
-    table.AddRow({Fmt(alpha, 1), Fmt(result.metrics.mean_accepted, 2),
-                  FmtPct(result.metrics.AttainmentPct()),
-                  FmtPct(result.metrics.per_category[0].AttainmentPct()),
-                  Fmt(result.metrics.GoodputTps(), 1)});
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    const Metrics& m = results[i].value.metrics;
+    table.AddRow({Fmt(alphas[i], 1), Fmt(m.mean_accepted, 2), FmtPct(m.AttainmentPct()),
+                  FmtPct(m.per_category[0].AttainmentPct()), Fmt(m.GoodputTps(), 1)});
+    json.Add(base_setup.label, "AdaServe", "attainment_pct", alphas[i], m.AttainmentPct());
+    json.Add(base_setup.label, "AdaServe", "mean_accepted", alphas[i], m.mean_accepted);
   }
   table.Print(std::cout);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

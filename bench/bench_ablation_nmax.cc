@@ -10,30 +10,47 @@
 namespace adaserve {
 namespace {
 
-void Run() {
-  std::cout << "Ablation: per-request SLO-phase token limit n_max (4.0 req/s, 60% urgent)\n";
+int Run(const BenchArgs& args) {
+  SweepRunner runner(args.threads);
+  std::cout << "Ablation: per-request SLO-phase token limit n_max (4.0 req/s, 60% urgent, "
+            << runner.threads() << " threads)\n";
   const Setup setup = LlamaSetup();
-  Experiment exp(setup);
   std::cout << setup.label << "\n\n";
-  const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, 4.0, PeakMix());
+
+  const std::vector<int> n_maxes = {1, 2, 4, 8, 16, 64, 1024};
+  std::vector<std::function<EngineResult()>> tasks;
+  for (int n_max : n_maxes) {
+    tasks.push_back([&setup, &args, n_max] {
+      const Experiment exp(setup);
+      const std::vector<Request> workload =
+          exp.RealTraceWorkload(SweepDurationFor(args), 4.0, PeakMix());
+      AdaServeConfig config;
+      config.selection.n_max = n_max;
+      AdaServeScheduler scheduler(config);
+      return exp.Run(scheduler, workload);
+    });
+  }
+  const std::vector<Timed<EngineResult>> results = runner.Map(tasks);
+
+  BenchJson json("ablation_nmax");
   TablePrinter table({"n_max", "SLO Attainment(%)", "Cat1(%)", "Goodput(tok/s)"});
-  for (int n_max : {1, 2, 4, 8, 16, 64, 1024}) {
-    AdaServeConfig config;
-    config.selection.n_max = n_max;
-    AdaServeScheduler scheduler(config);
-    const EngineResult result = exp.Run(scheduler, workload);
+  for (size_t i = 0; i < n_maxes.size(); ++i) {
+    const int n_max = n_maxes[i];
+    const Metrics& m = results[i].value.metrics;
     table.AddRow({n_max == 1024 ? "unbounded" : std::to_string(n_max),
-                  FmtPct(result.metrics.AttainmentPct()),
-                  FmtPct(result.metrics.per_category[0].AttainmentPct()),
-                  Fmt(result.metrics.GoodputTps(), 1)});
+                  FmtPct(m.AttainmentPct()), FmtPct(m.per_category[0].AttainmentPct()),
+                  Fmt(m.GoodputTps(), 1)});
+    json.Add(setup.label, "AdaServe", "attainment_pct", n_max, m.AttainmentPct());
+    json.Add(setup.label, "AdaServe", "goodput_tps", n_max, m.GoodputTps());
   }
   table.Print(std::cout);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -13,20 +13,35 @@
 namespace adaserve {
 namespace {
 
-void EndToEnd(const Experiment& exp) {
+void EndToEnd(const Setup& setup, const BenchArgs& args, SweepRunner& runner, BenchJson& json) {
   TablePrinter table(
       {"Variant", "RPS", "SLO Attainment(%)", "Cat1(%)", "Goodput(tok/s)"});
-  for (double rps : {3.6, 4.6}) {
-    const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, rps, PeakMix());
-    for (bool slo_phase : {true, false}) {
-      AdaServeConfig config;
-      config.slo_phase_enabled = slo_phase;
-      AdaServeScheduler scheduler(config);
-      const EngineResult result = exp.Run(scheduler, workload);
-      table.AddRow({slo_phase ? "full pipeline" : "throughput-only", Fmt(rps, 1),
-                    FmtPct(result.metrics.AttainmentPct()),
-                    FmtPct(result.metrics.per_category[0].AttainmentPct()),
-                    Fmt(result.metrics.GoodputTps(), 1)});
+  const std::vector<double> rps_grid = {3.6, 4.6};
+  const std::vector<bool> phases = {true, false};
+  std::vector<std::function<EngineResult()>> tasks;
+  for (double rps : rps_grid) {
+    for (bool slo_phase : phases) {
+      tasks.push_back([&setup, &args, rps, slo_phase] {
+        const Experiment exp(setup);
+        const std::vector<Request> workload =
+            exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
+        AdaServeConfig config;
+        config.slo_phase_enabled = slo_phase;
+        AdaServeScheduler scheduler(config);
+        return exp.Run(scheduler, workload);
+      });
+    }
+  }
+  const std::vector<Timed<EngineResult>> results = runner.Map(tasks);
+  size_t i = 0;
+  for (double rps : rps_grid) {
+    for (bool slo_phase : phases) {
+      const std::string variant = slo_phase ? "full pipeline" : "throughput-only";
+      const Metrics& m = results[i++].value.metrics;
+      table.AddRow({variant, Fmt(rps, 1), FmtPct(m.AttainmentPct()),
+                    FmtPct(m.per_category[0].AttainmentPct()), Fmt(m.GoodputTps(), 1)});
+      json.Add(setup.label, variant, "attainment_pct", rps, m.AttainmentPct());
+      json.Add(setup.label, variant, "goodput_tps", rps, m.GoodputTps());
     }
   }
   table.Print(std::cout);
@@ -94,19 +109,25 @@ void OracleGap(const Experiment& exp) {
   table.Print(std::cout);
 }
 
-void Run() {
-  std::cout << "Ablation: SLO-customized selection phase\n";
+int Run(const BenchArgs& args) {
+  BenchJson json("ablation_selection");
+  SweepRunner runner(args.threads);
+  std::cout << "Ablation: SLO-customized selection phase (" << runner.threads()
+            << " threads)\n";
   const Setup setup = LlamaSetup();
-  Experiment exp(setup);
   std::cout << setup.label << "\n\n";
-  EndToEnd(exp);
+  EndToEnd(setup, args, runner, json);
+  // The oracle-gap analysis is a handful of snapshot constructions, not a
+  // sweep — it stays serial.
+  const Experiment exp(setup);
   OracleGap(exp);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -7,52 +7,77 @@
 // roofline knee and iteration latency explodes — the hardware-unawareness
 // the paper (and Sequoia) call out. SLO-customized trees win because shape
 // *and size* follow each request's A(r) and the load.
+#include <functional>
 #include <iostream>
+#include <memory>
 
 #include "bench/sweep_common.h"
 
 namespace adaserve {
 namespace {
 
-void Run() {
-  std::cout << "Ablation: speculation tree topology (4.0 req/s, mix 60/20/20)\n";
+int Run(const BenchArgs& args) {
+  SweepRunner runner(args.threads);
+  std::cout << "Ablation: speculation tree topology (4.0 req/s, mix 60/20/20, "
+            << runner.threads() << " threads)\n";
   const Setup setup = LlamaSetup();
-  Experiment exp(setup);
   std::cout << setup.label << "\n\n";
-  const std::vector<Request> workload = exp.RealTraceWorkload(kSweepDuration, 4.0, PeakMix());
 
+  // Scheduler factories, not schedulers: each cell builds its own.
   struct Variant {
     std::string label;
-    std::unique_ptr<Scheduler> scheduler;
+    std::function<std::unique_ptr<Scheduler>()> make_scheduler;
   };
   std::vector<Variant> variants;
-  variants.push_back({"chain k=4 (vLLM-Spec)",
-                      std::make_unique<VllmSpecScheduler>(VllmSpecConfig{.spec_len = 4})});
-  variants.push_back({"static tree 4x1x1",
-                      std::make_unique<StaticTreeSpecScheduler>(
-                          StaticTreeConfig{.branching = {4, 1, 1}})});
-  variants.push_back({"static tree 3x2",
-                      std::make_unique<StaticTreeSpecScheduler>(
-                          StaticTreeConfig{.branching = {3, 2}})});
-  variants.push_back({"static tree 2x2x1",
-                      std::make_unique<StaticTreeSpecScheduler>(
-                          StaticTreeConfig{.branching = {2, 2, 1}})});
-  variants.push_back({"SLO-customized (AdaServe)", std::make_unique<AdaServeScheduler>()});
+  variants.push_back({"chain k=4 (vLLM-Spec)", [] {
+                        return std::make_unique<VllmSpecScheduler>(
+                            VllmSpecConfig{.spec_len = 4});
+                      }});
+  variants.push_back({"static tree 4x1x1", [] {
+                        return std::make_unique<StaticTreeSpecScheduler>(
+                            StaticTreeConfig{.branching = {4, 1, 1}});
+                      }});
+  variants.push_back({"static tree 3x2", [] {
+                        return std::make_unique<StaticTreeSpecScheduler>(
+                            StaticTreeConfig{.branching = {3, 2}});
+                      }});
+  variants.push_back({"static tree 2x2x1", [] {
+                        return std::make_unique<StaticTreeSpecScheduler>(
+                            StaticTreeConfig{.branching = {2, 2, 1}});
+                      }});
+  variants.push_back(
+      {"SLO-customized (AdaServe)", [] { return std::make_unique<AdaServeScheduler>(); }});
 
+  std::vector<std::function<EngineResult()>> tasks;
+  for (const Variant& v : variants) {
+    tasks.push_back([&setup, &args, &v] {
+      const Experiment exp(setup);
+      const std::vector<Request> workload =
+          exp.RealTraceWorkload(SweepDurationFor(args), 4.0, PeakMix());
+      auto scheduler = v.make_scheduler();
+      return exp.Run(*scheduler, workload);
+    });
+  }
+  const std::vector<Timed<EngineResult>> results = runner.Map(tasks);
+
+  BenchJson json("ablation_topology");
   TablePrinter table({"Topology", "SLO Attainment(%)", "Cat1(%)", "Goodput(tok/s)", "Mean acc"});
-  for (Variant& v : variants) {
-    const EngineResult result = exp.Run(*v.scheduler, workload);
-    table.AddRow({v.label, FmtPct(result.metrics.AttainmentPct()),
-                  FmtPct(result.metrics.per_category[0].AttainmentPct()),
-                  Fmt(result.metrics.GoodputTps(), 1), Fmt(result.metrics.mean_accepted, 2)});
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const Metrics& m = results[i].value.metrics;
+    table.AddRow({variants[i].label, FmtPct(m.AttainmentPct()),
+                  FmtPct(m.per_category[0].AttainmentPct()), Fmt(m.GoodputTps(), 1),
+                  Fmt(m.mean_accepted, 2)});
+    json.Add(setup.label, variants[i].label, "attainment_pct", 0.0, m.AttainmentPct());
+    json.Add(setup.label, variants[i].label, "goodput_tps", 0.0, m.GoodputTps());
   }
   table.Print(std::cout);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
+  return FinishBench(args, json);
 }
 
 }  // namespace
 }  // namespace adaserve
 
-int main() {
-  adaserve::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
 }

@@ -11,31 +11,35 @@ namespace adaserve {
 namespace {
 
 void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
-              BenchJson& json) {
-  Experiment exp(setup);
+              BenchJson& json, SweepRunner& runner) {
   std::cout << "\n" << setup.label << "\n";
   TablePrinter table({"System", "RPS", "SLO Attainment(%)", "Cat1(%)", "Cat2(%)", "Cat3(%)"});
-  for (double rps : GridFor(args, rps_grid)) {
-    const std::vector<Request> workload =
-        exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
-    for (const SweepPoint& p : RunAllSystems(exp, workload, rps, MainComparisonSet())) {
-      table.AddRow({std::string(SystemName(p.system)), Fmt(rps, 1),
-                    FmtPct(p.metrics.AttainmentPct()),
-                    FmtPct(p.metrics.per_category[0].AttainmentPct()),
-                    FmtPct(p.metrics.per_category[1].AttainmentPct()),
-                    FmtPct(p.metrics.per_category[2].AttainmentPct())});
-      json.Add(setup.label, std::string(SystemName(p.system)), "attainment_pct", rps,
-               p.metrics.AttainmentPct());
-    }
+  const std::vector<SweepCellResult> cells = RunSetupSweep(
+      runner, setup, MainComparisonSet(), GridFor(args, rps_grid),
+      [&args](const Experiment& exp, double rps) {
+        return exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
+      });
+  for (const SweepCellResult& p : cells) {
+    const Metrics& m = p.result.metrics;
+    table.AddRow({std::string(SystemName(p.system)), Fmt(p.x, 1), FmtPct(m.AttainmentPct()),
+                  FmtPct(m.per_category[0].AttainmentPct()),
+                  FmtPct(m.per_category[1].AttainmentPct()),
+                  FmtPct(m.per_category[2].AttainmentPct())});
+    json.Add(setup.label, std::string(SystemName(p.system)), "attainment_pct", p.x,
+             m.AttainmentPct());
+    AddCellWallClock(json, setup.label, p);
   }
   table.Print(std::cout);
 }
 
 int Run(const BenchArgs& args) {
   BenchJson json("fig08_slo_vs_rps");
-  std::cout << "Figure 8: SLO attainment w.r.t. RPS (mix 60/20/20, real-shaped trace)\n";
-  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json);
-  RunModel(QwenSetup(), QwenRpsGrid(), args, json);
+  SweepRunner runner(args.threads);
+  std::cout << "Figure 8: SLO attainment w.r.t. RPS (mix 60/20/20, real-shaped trace, "
+            << runner.threads() << " threads)\n";
+  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json, runner);
+  RunModel(QwenSetup(), QwenRpsGrid(), args, json, runner);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

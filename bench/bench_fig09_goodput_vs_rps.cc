@@ -7,29 +7,34 @@ namespace adaserve {
 namespace {
 
 void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
-              BenchJson& json) {
-  Experiment exp(setup);
+              BenchJson& json, SweepRunner& runner) {
   std::cout << "\n" << setup.label << "\n";
   TablePrinter table({"System", "RPS", "Goodput(tok/s)", "Throughput(tok/s)"});
-  for (double rps : GridFor(args, rps_grid)) {
-    const std::vector<Request> workload =
-        exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
-    for (const SweepPoint& p : RunAllSystems(exp, workload, rps, MainComparisonSet())) {
-      table.AddRow({std::string(SystemName(p.system)), Fmt(rps, 1),
-                    Fmt(p.metrics.GoodputTps(), 1), Fmt(p.metrics.ThroughputTps(), 1)});
-      const std::string system(SystemName(p.system));
-      json.Add(setup.label, system, "goodput_tps", rps, p.metrics.GoodputTps());
-      json.Add(setup.label, system, "throughput_tps", rps, p.metrics.ThroughputTps());
-    }
+  const std::vector<SweepCellResult> cells = RunSetupSweep(
+      runner, setup, MainComparisonSet(), GridFor(args, rps_grid),
+      [&args](const Experiment& exp, double rps) {
+        return exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
+      });
+  for (const SweepCellResult& p : cells) {
+    const Metrics& m = p.result.metrics;
+    table.AddRow({std::string(SystemName(p.system)), Fmt(p.x, 1), Fmt(m.GoodputTps(), 1),
+                  Fmt(m.ThroughputTps(), 1)});
+    const std::string system(SystemName(p.system));
+    json.Add(setup.label, system, "goodput_tps", p.x, m.GoodputTps());
+    json.Add(setup.label, system, "throughput_tps", p.x, m.ThroughputTps());
+    AddCellWallClock(json, setup.label, p);
   }
   table.Print(std::cout);
 }
 
 int Run(const BenchArgs& args) {
   BenchJson json("fig09_goodput_vs_rps");
-  std::cout << "Figure 9: goodput w.r.t. RPS (mix 60/20/20, real-shaped trace)\n";
-  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json);
-  RunModel(QwenSetup(), QwenRpsGrid(), args, json);
+  SweepRunner runner(args.threads);
+  std::cout << "Figure 9: goodput w.r.t. RPS (mix 60/20/20, real-shaped trace, "
+            << runner.threads() << " threads)\n";
+  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json, runner);
+  RunModel(QwenSetup(), QwenRpsGrid(), args, json, runner);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

@@ -12,34 +12,38 @@
 namespace adaserve {
 namespace {
 
-void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json) {
-  Experiment exp(setup);
+void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json, SweepRunner& runner) {
   std::cout << "\n" << setup.label << " (4.0 req/s, 60% urgent)\n";
   TablePrinter table({"System", "SLO scale", "SLO Attainment(%)", "Goodput(tok/s)", "Cat1(%)"});
-  for (double scale : GridFor(args, {1.6, 1.4, 1.2, 1.0, 0.8, 0.6})) {
-    const CategoryConfig cat_config{.cat1_slo_scale = scale};
-    TraceConfig trace;
-    trace.duration = SweepDurationFor(args);
-    trace.mean_rps = 4.0;
-    const std::vector<Request> workload = BuildWorkload(
-        exp.Categories(cat_config), RealShapedArrivals(trace), PeakMix());
-    for (const SweepPoint& p : RunAllSystems(exp, workload, scale, MainComparisonSet())) {
-      table.AddRow({std::string(SystemName(p.system)), Fmt(scale, 1),
-                    FmtPct(p.metrics.AttainmentPct()), Fmt(p.metrics.GoodputTps(), 1),
-                    FmtPct(p.metrics.per_category[0].AttainmentPct())});
-      const std::string system(SystemName(p.system));
-      json.Add(setup.label, system, "attainment_pct", scale, p.metrics.AttainmentPct());
-      json.Add(setup.label, system, "goodput_tps", scale, p.metrics.GoodputTps());
-    }
+  const std::vector<SweepCellResult> cells = RunSetupSweep(
+      runner, setup, MainComparisonSet(), GridFor(args, {1.6, 1.4, 1.2, 1.0, 0.8, 0.6}),
+      [&args](const Experiment& exp, double scale) {
+        const CategoryConfig cat_config{.cat1_slo_scale = scale};
+        TraceConfig trace;
+        trace.duration = SweepDurationFor(args);
+        trace.mean_rps = 4.0;
+        return BuildWorkload(exp.Categories(cat_config), RealShapedArrivals(trace), PeakMix());
+      });
+  for (const SweepCellResult& p : cells) {
+    const Metrics& m = p.result.metrics;
+    table.AddRow({std::string(SystemName(p.system)), Fmt(p.x, 1), FmtPct(m.AttainmentPct()),
+                  Fmt(m.GoodputTps(), 1), FmtPct(m.per_category[0].AttainmentPct())});
+    const std::string system(SystemName(p.system));
+    json.Add(setup.label, system, "attainment_pct", p.x, m.AttainmentPct());
+    json.Add(setup.label, system, "goodput_tps", p.x, m.GoodputTps());
+    AddCellWallClock(json, setup.label, p);
   }
   table.Print(std::cout);
 }
 
 int Run(const BenchArgs& args) {
   BenchJson json("fig11_slo_scale");
-  std::cout << "Figure 11: SLO attainment and goodput w.r.t. SLO scale\n";
-  RunModel(LlamaSetup(), args, json);
-  RunModel(QwenSetup(), args, json);
+  SweepRunner runner(args.threads);
+  std::cout << "Figure 11: SLO attainment and goodput w.r.t. SLO scale (" << runner.threads()
+            << " threads)\n";
+  RunModel(LlamaSetup(), args, json, runner);
+  RunModel(QwenSetup(), args, json, runner);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

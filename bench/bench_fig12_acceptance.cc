@@ -11,31 +11,34 @@ namespace adaserve {
 namespace {
 
 void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
-              BenchJson& json) {
-  Experiment exp(setup);
+              BenchJson& json, SweepRunner& runner) {
   std::cout << "\n" << setup.label << "\n";
   const std::vector<SystemKind> systems = {SystemKind::kAdaServe, SystemKind::kVllmSpec4,
                                            SystemKind::kVllmSpec6, SystemKind::kVllmSpec8};
   TablePrinter table({"System", "RPS", "Mean accepted tokens"});
-  for (double rps : GridFor(args, rps_grid)) {
-    const std::vector<Request> workload =
-        exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
-    for (const SweepPoint& p : RunAllSystems(exp, workload, rps, systems)) {
-      table.AddRow(
-          {std::string(SystemName(p.system)), Fmt(rps, 1), Fmt(p.metrics.mean_accepted, 2)});
-      json.Add(setup.label, std::string(SystemName(p.system)), "mean_accepted", rps,
-               p.metrics.mean_accepted);
-    }
+  const std::vector<SweepCellResult> cells = RunSetupSweep(
+      runner, setup, systems, GridFor(args, rps_grid),
+      [&args](const Experiment& exp, double rps) {
+        return exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
+      });
+  for (const SweepCellResult& p : cells) {
+    table.AddRow({std::string(SystemName(p.system)), Fmt(p.x, 1),
+                  Fmt(p.result.metrics.mean_accepted, 2)});
+    json.Add(setup.label, std::string(SystemName(p.system)), "mean_accepted", p.x,
+             p.result.metrics.mean_accepted);
+    AddCellWallClock(json, setup.label, p);
   }
   table.Print(std::cout);
 }
 
 int Run(const BenchArgs& args) {
   BenchJson json("fig12_acceptance");
-  std::cout
-      << "Figure 12: mean accepted tokens per request per verification (speculation accuracy)\n";
-  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json);
-  RunModel(QwenSetup(), QwenRpsGrid(), args, json);
+  SweepRunner runner(args.threads);
+  std::cout << "Figure 12: mean accepted tokens per request per verification "
+            << "(speculation accuracy, " << runner.threads() << " threads)\n";
+  RunModel(LlamaSetup(), LlamaRpsGrid(), args, json, runner);
+  RunModel(QwenSetup(), QwenRpsGrid(), args, json, runner);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

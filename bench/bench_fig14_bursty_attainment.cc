@@ -17,30 +17,37 @@ std::array<BurstSpec, kNumCategories> Fig13Bursts() {
   }};
 }
 
-void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json) {
-  Experiment exp(setup);
+void RunModel(const Setup& setup, const BenchArgs& args, BenchJson& json, SweepRunner& runner) {
   // Compressed bursty window (shorter still under --smoke).
   const double duration = args.smoke ? 40.0 : 120.0;
-  const std::vector<Request> workload =
-      BuildBurstyWorkload(exp.Categories(), Fig13Bursts(), duration, /*seed=*/100);
-  std::cout << "\n" << setup.label << "  (" << workload.size() << " requests)\n";
+  std::cout << "\n" << setup.label << "\n";
   TablePrinter table({"System", "SLO Attainment(%)", "Cat1(%)", "Cat2(%)", "Cat3(%)"});
-  for (const SweepPoint& p : RunAllSystems(exp, workload, 0.0, MainComparisonSet())) {
-    table.AddRow({std::string(SystemName(p.system)), FmtPct(p.metrics.AttainmentPct()),
-                  FmtPct(p.metrics.per_category[0].AttainmentPct()),
-                  FmtPct(p.metrics.per_category[1].AttainmentPct()),
-                  FmtPct(p.metrics.per_category[2].AttainmentPct())});
+  const std::vector<SweepCellResult> cells = RunSetupSweep(
+      runner, setup, MainComparisonSet(), {0.0},
+      [duration](const Experiment& exp, double /*x*/) {
+        return BuildBurstyWorkload(exp.Categories(), Fig13Bursts(), duration, /*seed=*/100);
+      });
+  for (const SweepCellResult& p : cells) {
+    const Metrics& m = p.result.metrics;
+    table.AddRow({std::string(SystemName(p.system)), FmtPct(m.AttainmentPct()),
+                  FmtPct(m.per_category[0].AttainmentPct()),
+                  FmtPct(m.per_category[1].AttainmentPct()),
+                  FmtPct(m.per_category[2].AttainmentPct())});
     json.Add(setup.label, std::string(SystemName(p.system)), "attainment_pct", 0.0,
-             p.metrics.AttainmentPct());
+             m.AttainmentPct());
+    AddCellWallClock(json, setup.label, p);
   }
   table.Print(std::cout);
 }
 
 int Run(const BenchArgs& args) {
   BenchJson json("fig14_bursty_attainment");
-  std::cout << "Figure 14: SLO attainment under the synthetic bursty trace\n";
-  RunModel(LlamaSetup(), args, json);
-  RunModel(QwenSetup(), args, json);
+  SweepRunner runner(args.threads);
+  std::cout << "Figure 14: SLO attainment under the synthetic bursty trace ("
+            << runner.threads() << " threads)\n";
+  RunModel(LlamaSetup(), args, json, runner);
+  RunModel(QwenSetup(), args, json, runner);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

@@ -8,28 +8,54 @@
 namespace adaserve {
 namespace {
 
+struct SetupRow {
+  std::string label;
+  std::vector<std::string> cells;
+  int verify_budget = 0;
+  int draft_budget = 0;
+  double baseline_ms = 0.0;
+};
+
+SetupRow DeriveRow(const Setup& setup) {
+  const Experiment exp(setup);
+  const LatencyModel& lat = exp.target_latency();
+  SetupRow row;
+  row.label = setup.label;
+  row.verify_budget = DeriveTokenBudget(lat);
+  row.draft_budget = DeriveDraftBudget(lat, exp.draft_latency());
+  row.baseline_ms = ToMs(exp.BaselineLatency());
+  row.cells = {setup.target_profile.name,
+               std::to_string(setup.tensor_parallel) + "-way TP",
+               std::to_string(setup.tensor_parallel) + " x " + setup.gpu.name,
+               setup.draft_profile.name,
+               Fmt(setup.target_profile.WeightBytes() / 1e9, 1),
+               Fmt(ToMs(lat.WeightLoadTime()), 2),
+               Fmt(lat.RooflineKnee(), 0),
+               std::to_string(row.verify_budget),
+               std::to_string(row.draft_budget),
+               Fmt(row.baseline_ms, 2)};
+  return row;
+}
+
 int Run(const BenchArgs& args) {
   std::cout << "Table 1: evaluation setups for different models\n\n";
   BenchJson json("table1_setups");
+  SweepRunner runner(args.threads);
   TablePrinter table({"Model", "Parallelism", "GPUs", "Draft model", "Weights(GB)",
                       "Floor(ms)", "Knee(tok)", "Budget B", "Draft B2", "Baseline(ms)"});
+  std::vector<std::function<SetupRow()>> tasks;
   for (const Setup& setup : {LlamaSetup(), QwenSetup()}) {
-    Experiment exp(setup);
-    const LatencyModel& lat = exp.target_latency();
-    table.AddRow({setup.target_profile.name,
-                  std::to_string(setup.tensor_parallel) + "-way TP",
-                  std::to_string(setup.tensor_parallel) + " x " + setup.gpu.name,
-                  setup.draft_profile.name, Fmt(setup.target_profile.WeightBytes() / 1e9, 1),
-                  Fmt(ToMs(lat.WeightLoadTime()), 2), Fmt(lat.RooflineKnee(), 0),
-                  std::to_string(DeriveTokenBudget(lat)),
-                  std::to_string(DeriveDraftBudget(lat, exp.draft_latency())),
-                  Fmt(ToMs(exp.BaselineLatency()), 2)});
-    json.Add(setup.label, "hw", "verify_budget", 0.0, DeriveTokenBudget(lat));
-    json.Add(setup.label, "hw", "draft_budget", 0.0,
-             DeriveDraftBudget(lat, exp.draft_latency()));
-    json.Add(setup.label, "hw", "baseline_ms", 0.0, ToMs(exp.BaselineLatency()));
+    tasks.push_back([setup] { return DeriveRow(setup); });
+  }
+  for (const Timed<SetupRow>& timed : runner.Map(tasks)) {
+    const SetupRow& row = timed.value;
+    table.AddRow(row.cells);
+    json.Add(row.label, "hw", "verify_budget", 0.0, row.verify_budget);
+    json.Add(row.label, "hw", "draft_budget", 0.0, row.draft_budget);
+    json.Add(row.label, "hw", "baseline_ms", 0.0, row.baseline_ms);
   }
   table.Print(std::cout);
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

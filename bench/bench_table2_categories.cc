@@ -7,31 +7,57 @@
 namespace adaserve {
 namespace {
 
+struct CategoryTable {
+  std::string label;
+  double baseline_ms = 0.0;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> slo_ms;  // per category
+};
+
+CategoryTable DeriveCategories(const Setup& setup) {
+  const Experiment exp(setup);
+  CategoryTable out;
+  out.label = setup.label;
+  out.baseline_ms = ToMs(exp.BaselineLatency());
+  const std::vector<CategorySpec> cats = exp.Categories();
+  const char* slo_desc[] = {"1.2 x Baseline latency", "50ms", "150ms"};
+  for (int c = 0; c < kNumCategories; ++c) {
+    const CategorySpec& cat = cats[static_cast<size_t>(c)];
+    // Lognormal mean = exp(mu + sigma^2/2).
+    const double prompt_mean =
+        std::exp(cat.prompt_len.log_mean + cat.prompt_len.log_stddev * cat.prompt_len.log_stddev / 2);
+    const double output_mean =
+        std::exp(cat.output_len.log_mean + cat.output_len.log_stddev * cat.output_len.log_stddev / 2);
+    out.rows.push_back({cat.name, cat.application, cat.dataset, slo_desc[c],
+                        Fmt(ToMs(cat.tpot_slo), 1), Fmt(prompt_mean, 0), Fmt(output_mean, 0)});
+    out.slo_ms.push_back(ToMs(cat.tpot_slo));
+  }
+  return out;
+}
+
 int Run(const BenchArgs& args) {
   BenchJson json("table2_categories");
+  SweepRunner runner(args.threads);
   std::cout << "Table 2: request categories and their SLOs\n\n";
+  std::vector<std::function<CategoryTable()>> tasks;
   for (const Setup& setup : {LlamaSetup(), QwenSetup()}) {
-    Experiment exp(setup);
-    std::cout << setup.label << "  (baseline latency " << Fmt(ToMs(exp.BaselineLatency()), 2)
+    tasks.push_back([setup] { return DeriveCategories(setup); });
+  }
+  for (const Timed<CategoryTable>& timed : runner.Map(tasks)) {
+    const CategoryTable& cat_table = timed.value;
+    std::cout << cat_table.label << "  (baseline latency " << Fmt(cat_table.baseline_ms, 2)
               << " ms)\n";
     TablePrinter table({"Category", "App", "Dataset", "SLO", "SLO(ms)",
                         "Prompt(mean tok)", "Output(mean tok)"});
-    const std::vector<CategorySpec> cats = exp.Categories();
-    const char* slo_desc[] = {"1.2 x Baseline latency", "50ms", "150ms"};
-    for (int c = 0; c < kNumCategories; ++c) {
-      const CategorySpec& cat = cats[static_cast<size_t>(c)];
-      // Lognormal mean = exp(mu + sigma^2/2).
-      const double prompt_mean =
-          std::exp(cat.prompt_len.log_mean + cat.prompt_len.log_stddev * cat.prompt_len.log_stddev / 2);
-      const double output_mean =
-          std::exp(cat.output_len.log_mean + cat.output_len.log_stddev * cat.output_len.log_stddev / 2);
-      table.AddRow({cat.name, cat.application, cat.dataset, slo_desc[c],
-                    Fmt(ToMs(cat.tpot_slo), 1), Fmt(prompt_mean, 0), Fmt(output_mean, 0)});
-      json.Add(setup.label, cat.name, "slo_ms", c + 1, ToMs(cat.tpot_slo));
+    for (size_t c = 0; c < cat_table.rows.size(); ++c) {
+      table.AddRow(cat_table.rows[c]);
+      json.Add(cat_table.label, cat_table.rows[c][0], "slo_ms", static_cast<double>(c + 1),
+               cat_table.slo_ms[c]);
     }
     table.Print(std::cout);
     std::cout << "\n";
   }
+  json.SetRunInfo(runner.threads(), runner.total_wall_clock_s());
   return FinishBench(args, json);
 }
 

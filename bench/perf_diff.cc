@@ -2,12 +2,17 @@
 // rolling baseline and fails on regressions.
 //
 //   perf_diff <baseline.json> <candidate.json> [--rel_tol 0.05] [--abs_tol 2.0]
+//             [--time_rel_tol 1.0] [--time_abs_tol 5.0]
 //
 // Every baseline row (model, system, metric, x) must exist in the
 // candidate, and its value must not be below
 //   baseline - max(abs_tol, rel_tol * |baseline|).
-// All gated metrics (goodput_tps, throughput_tps, attainment_pct) are
-// higher-is-better by construction. Improvements beyond tolerance are
+// The simulation metrics (goodput_tps, throughput_tps, attainment_pct)
+// are higher-is-better by construction. "wall_clock_s" rows — the harness
+// wall-clock the parallel sweep engine reports — are lower-is-better and
+// gated with their own deliberately loose tolerances (--time_rel_tol /
+// --time_abs_tol), because wall clock varies across machines where the
+// deterministic metrics do not. Improvements beyond tolerance are
 // reported as a hint to refresh the baseline but do not fail the gate.
 // Exit codes: 0 ok, 1 regression / missing rows, 2 usage or parse error.
 //
@@ -112,19 +117,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double rel_tol = 0.05;
   double abs_tol = 2.0;
+  double time_rel_tol = 1.0;
+  double time_abs_tol = 5.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--rel_tol" && i + 1 < argc) {
       rel_tol = std::atof(argv[++i]);
     } else if (arg == "--abs_tol" && i + 1 < argc) {
       abs_tol = std::atof(argv[++i]);
+    } else if (arg == "--time_rel_tol" && i + 1 < argc) {
+      time_rel_tol = std::atof(argv[++i]);
+    } else if (arg == "--time_abs_tol" && i + 1 < argc) {
+      time_abs_tol = std::atof(argv[++i]);
     } else {
       paths.push_back(arg);
     }
   }
   if (paths.size() != 2) {
     std::cerr << "usage: perf_diff <baseline.json> <candidate.json>"
-              << " [--rel_tol 0.05] [--abs_tol 2.0]\n";
+              << " [--rel_tol 0.05] [--abs_tol 2.0]"
+              << " [--time_rel_tol 1.0] [--time_abs_tol 5.0]\n";
     return 2;
   }
   std::vector<Row> baseline;
@@ -146,22 +158,29 @@ int main(int argc, char** argv) {
       ++regressions;
       continue;
     }
-    const double slack = std::max(abs_tol, rel_tol * std::fabs(base.value));
-    const double delta = cand->value - base.value;
+    // Wall-clock rows are lower-is-better; flip the sign so "worse" is
+    // always a negative delta, and use the loose time tolerances.
+    const bool is_time = base.metric == "wall_clock_s";
+    const double slack = is_time
+                             ? std::max(time_abs_tol, time_rel_tol * std::fabs(base.value))
+                             : std::max(abs_tol, rel_tol * std::fabs(base.value));
+    const double delta = (cand->value - base.value) * (is_time ? -1.0 : 1.0);
     if (delta < -slack) {
-      std::printf("REGRESSION %s: %.3f -> %.3f (%.3f below tolerance %.3f)\n",
-                  RowKey(base).c_str(), base.value, cand->value, -delta, slack);
+      std::printf("REGRESSION %s: %.3f -> %.3f (%.3f %s tolerance %.3f)\n",
+                  RowKey(base).c_str(), base.value, cand->value, -delta,
+                  is_time ? "slower than" : "below", slack);
       ++regressions;
     } else if (delta > slack) {
       ++improvements;
     }
   }
   std::printf("perf_diff: %zu rows, %d regressions, %d improvements beyond tolerance"
-              " (rel_tol %.3f, abs_tol %.3f)\n",
-              baseline.size(), regressions, improvements, rel_tol, abs_tol);
+              " (rel_tol %.3f, abs_tol %.3f, time_rel_tol %.3f, time_abs_tol %.3f)\n",
+              baseline.size(), regressions, improvements, rel_tol, abs_tol, time_rel_tol,
+              time_abs_tol);
   if (improvements > 0 && regressions == 0) {
     std::cout << "note: consistent improvements — consider refreshing bench/baselines/ "
-                 "(run the bench with --smoke --json and commit the output)\n";
+                 "(run the bench with --smoke --threads 4 --json and commit the output)\n";
   }
   return regressions > 0 ? 1 : 0;
 }

@@ -1,10 +1,15 @@
 // Shared sweep machinery for the end-to-end comparison benches
 // (Figs. 8, 9, 12 share the RPS sweep; Figs. 10, 11 fix RPS and vary one
-// workload knob).
+// workload knob). The sweep benches fan their (system × point) grids out
+// over SweepRunner (src/harness/sweep_runner.h); --threads controls the
+// worker count and --threads 1 reproduces the historical serial path
+// exactly (metrics are byte-identical at any thread count — pinned by
+// tests/sweep_parallel_equivalence_test.cc).
 #ifndef ADASERVE_BENCH_SWEEP_COMMON_H_
 #define ADASERVE_BENCH_SWEEP_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,7 +37,10 @@ struct SweepPoint {
   Metrics metrics;
 };
 
-// Runs every system in `systems` over `workload` under `exp`.
+// Serial reference: runs every system in `systems` over `workload` under
+// `exp`, sharing one Experiment and one workload. The benches now sweep
+// through SweepRunner instead; this stays as the one-Experiment oracle the
+// parallel-equivalence test compares against.
 inline std::vector<SweepPoint> RunAllSystems(const Experiment& exp,
                                              const std::vector<Request>& workload, double x,
                                              const std::vector<SystemKind>& systems) {
@@ -57,6 +65,9 @@ struct BenchArgs {
   // perf job finishes in unit-test time. Baselines under bench/baselines/
   // are recorded in this mode.
   bool smoke = false;
+  // --threads N (or --threads=N): sweep worker count. 0 (default) resolves
+  // to hardware_concurrency; 1 is the exact serial path.
+  int threads = 0;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -69,7 +80,14 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = arg.substr(7);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::atoi(arg.c_str() + 10);
     }
+  }
+  if (args.threads < 0) {
+    args.threads = 0;
   }
   return args;
 }
@@ -99,9 +117,24 @@ class BenchJson {
     rows_.push_back(Row{model, system, metric, x, value});
   }
 
+  // Records the sweep's execution shape: worker count as a top-level
+  // field, total harness wall clock both as a top-level field and as a
+  // "harness / total / wall_clock_s" row so perf_diff can gate it (the
+  // per-point rows added by the benches track individual cells).
+  void SetRunInfo(int threads, double total_wall_clock_s) {
+    threads_ = threads;
+    total_wall_clock_s_ = total_wall_clock_s;
+    Add("harness", "total", "wall_clock_s", 0.0, total_wall_clock_s);
+  }
+
   std::string ToString() const {
     std::ostringstream os;
-    os << "{\n  \"bench\": \"" << bench_ << "\",\n  \"rows\": [\n";
+    os << "{\n  \"bench\": \"" << bench_ << "\",\n";
+    if (threads_ > 0) {
+      os << "  \"threads\": " << threads_ << ",\n";
+      os << "  \"wall_clock_s\": " << FmtJsonNumber(total_wall_clock_s_) << ",\n";
+    }
+    os << "  \"rows\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       os << "    {\"model\": \"" << r.model << "\", \"system\": \"" << r.system
@@ -138,8 +171,17 @@ class BenchJson {
   }
 
   std::string bench_;
+  int threads_ = 0;
+  double total_wall_clock_s_ = 0.0;
   std::vector<Row> rows_;
 };
+
+// Adds the per-point wall-clock row of one finished sweep cell.
+inline void AddCellWallClock(BenchJson& json, const std::string& model,
+                             const SweepCellResult& cell) {
+  json.Add(model, std::string(SystemName(cell.system)), "wall_clock_s", cell.x,
+           cell.wall_clock_s);
+}
 
 // Writes the JSON document when --json was given; exits non-zero on I/O
 // failure so CI never silently gates on a stale file.

@@ -43,14 +43,22 @@ using StreamFactory = std::function<std::unique_ptr<ArrivalStream>()>;
 struct ComparisonPoint {
   SystemKind kind;
   EngineResult result;
+  // Wall-clock seconds this system's run took (its task's own compute
+  // time when the comparison ran parallel).
+  double wall_clock_s = 0.0;
 };
 
 // Runs every system in `systems` over its own identical stream from
-// `make_stream`, feeding the engine lazily.
+// `make_stream`, feeding the engine lazily. With threads > 1 the systems
+// run concurrently across a SweepRunner — `make_stream` must then be
+// callable from multiple threads at once (every provided factory is: it
+// only builds a fresh seeded stream) — and results come back in `systems`
+// order with identical metrics; threads == 1 is the exact historical
+// serial path, threads == 0 resolves to hardware_concurrency.
 std::vector<ComparisonPoint> RunComparison(const Experiment& exp,
                                            const std::vector<SystemKind>& systems,
                                            const StreamFactory& make_stream,
-                                           const EngineConfig& engine = {});
+                                           const EngineConfig& engine = {}, int threads = 1);
 
 // Engine config of the tick-native continuous-batching mode: mid-tick
 // admission, kBurst prefill cap, bounded evict-for-admission. The

@@ -1,0 +1,59 @@
+#include "src/harness/sweep_runner.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+SweepRunner::SweepRunner(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw > 0 ? static_cast<int>(hw) : 1;
+  } else {
+    threads_ = threads;
+  }
+}
+
+std::vector<SweepCellResult> RunSystemGrid(SweepRunner& runner,
+                                           const std::vector<SystemKind>& systems,
+                                           const std::vector<double>& xs,
+                                           const SweepCellFn& run_cell) {
+  ADASERVE_CHECK(run_cell != nullptr) << "RunSystemGrid needs a cell runner";
+  std::vector<std::function<EngineResult()>> tasks;
+  tasks.reserve(xs.size() * systems.size());
+  for (double x : xs) {
+    for (SystemKind system : systems) {
+      tasks.push_back([&run_cell, system, x] { return run_cell(system, x); });
+    }
+  }
+  std::vector<Timed<EngineResult>> timed = runner.Map(tasks);
+
+  std::vector<SweepCellResult> cells;
+  cells.reserve(timed.size());
+  size_t i = 0;
+  for (double x : xs) {
+    for (SystemKind system : systems) {
+      cells.push_back({system, x, std::move(timed[i].value), timed[i].wall_clock_s});
+      ++i;
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepCellResult> RunSetupSweep(SweepRunner& runner, const Setup& setup,
+                                           const std::vector<SystemKind>& systems,
+                                           const std::vector<double>& xs,
+                                           const SweepWorkloadFn& make_workload,
+                                           const EngineConfig& engine) {
+  ADASERVE_CHECK(make_workload != nullptr) << "RunSetupSweep needs a workload factory";
+  return RunSystemGrid(runner, systems, xs,
+                       [&setup, &make_workload, &engine](SystemKind system, double x) {
+                         const Experiment exp(setup);
+                         std::vector<Request> workload = make_workload(exp, x);
+                         auto scheduler = MakeScheduler(system);
+                         return exp.Run(*scheduler, std::move(workload), engine);
+                       });
+}
+
+}  // namespace adaserve

@@ -1,0 +1,130 @@
+// Parallel sweep execution engine for the bench/figure harness.
+//
+// A sweep is a grid of (system × sweep-point) cells, each an independent
+// deterministic simulation. SweepRunner fans the cells out over a
+// ThreadPool and reassembles results in grid order, so the output — and,
+// because every cell builds its own Experiment, workload, and scheduler
+// from scratch, every metric byte — is identical at any thread count.
+// tests/sweep_parallel_equivalence_test.cc pins threads=1 ≡ threads=4
+// with the same GoldenMetricsText machinery that pins the golden
+// baselines.
+//
+// Thread-safety contract for cell callbacks: a cell must not touch
+// mutable state shared with other cells. The helpers below enforce this
+// by constructing all simulator state (Experiment, workload, scheduler)
+// inside the cell task; custom cells passed to Map must do the same.
+#ifndef ADASERVE_SRC_HARNESS_SWEEP_RUNNER_H_
+#define ADASERVE_SRC_HARNESS_SWEEP_RUNNER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/harness/comparisons.h"
+#include "src/harness/experiment.h"
+
+namespace adaserve {
+
+// A task result annotated with the wall-clock seconds the task itself
+// consumed (its own compute time, roughly thread-count independent).
+template <typename T>
+struct Timed {
+  T value;
+  double wall_clock_s = 0.0;
+};
+
+class SweepRunner {
+ public:
+  // threads == 0 resolves to std::thread::hardware_concurrency().
+  // threads == 1 runs every task inline on the calling thread in
+  // submission order — exactly the historical serial path.
+  explicit SweepRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  // Wall-clock seconds spent inside Map calls so far (the figure's total
+  // harness time, what BenchJson records as the "harness / total" row).
+  double total_wall_clock_s() const { return total_wall_clock_s_; }
+
+  // Runs all tasks across the pool and returns their results in input
+  // order regardless of completion order. If a task throws, the first
+  // (input-order) exception is rethrown in the caller after every task
+  // finished or was drained.
+  template <typename T>
+  std::vector<Timed<T>> Map(const std::vector<std::function<T()>>& tasks) {
+    const auto sweep_start = std::chrono::steady_clock::now();
+    std::vector<Timed<T>> results;
+    results.reserve(tasks.size());
+    {
+      // Never spin up more workers than there are tasks.
+      const int workers =
+          threads_ <= 1 ? 0 : static_cast<int>(std::min<size_t>(
+                                  static_cast<size_t>(threads_), tasks.size()));
+      ThreadPool pool(workers);
+      std::vector<std::future<Timed<T>>> futures;
+      futures.reserve(tasks.size());
+      for (const std::function<T()>& task : tasks) {
+        futures.push_back(pool.Submit([&task] {
+          const auto start = std::chrono::steady_clock::now();
+          Timed<T> timed{task(), 0.0};
+          timed.wall_clock_s = SecondsSince(start);
+          return timed;
+        }));
+      }
+      for (std::future<Timed<T>>& future : futures) {
+        results.push_back(future.get());
+      }
+    }
+    total_wall_clock_s_ += SecondsSince(sweep_start);
+    return results;
+  }
+
+ private:
+  static double SecondsSince(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  int threads_ = 1;
+  double total_wall_clock_s_ = 0.0;
+};
+
+// One finished cell of a system × sweep-point grid.
+struct SweepCellResult {
+  SystemKind system;
+  double x = 0.0;
+  EngineResult result;
+  double wall_clock_s = 0.0;
+};
+
+// Builds and runs one cell from scratch. Called concurrently from pool
+// workers: everything the simulation touches must be task-local.
+using SweepCellFn = std::function<EngineResult(SystemKind system, double x)>;
+
+// Fans out the full xs × systems grid through `runner` and returns
+// results x-major (for each x, every system) — the serial benches' print
+// order.
+std::vector<SweepCellResult> RunSystemGrid(SweepRunner& runner,
+                                           const std::vector<SystemKind>& systems,
+                                           const std::vector<double>& xs,
+                                           const SweepCellFn& run_cell);
+
+// Workload for one sweep point, built on the cell's own Experiment.
+// Called concurrently; must only read `exp` and its captures.
+using SweepWorkloadFn = std::function<std::vector<Request>(const Experiment& exp, double x)>;
+
+// The standard bench cell: a fresh Experiment(setup), a fresh workload
+// from `make_workload`, and a fresh MakeScheduler(system) per cell, so
+// no simulator state crosses task boundaries.
+std::vector<SweepCellResult> RunSetupSweep(SweepRunner& runner, const Setup& setup,
+                                           const std::vector<SystemKind>& systems,
+                                           const std::vector<double>& xs,
+                                           const SweepWorkloadFn& make_workload,
+                                           const EngineConfig& engine = {});
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_HARNESS_SWEEP_RUNNER_H_

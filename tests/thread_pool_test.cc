@@ -1,0 +1,133 @@
+// Unit tests for the harness ThreadPool: result ordering via futures,
+// exception propagation, nested submission, and the zero-/one-thread edge
+// cases the sweep engine's serial mode depends on.
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace adaserve {
+namespace {
+
+TEST(ThreadPoolTest, FuturesPairWithTheirTasksRegardlessOfCompletionOrder) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([i] {
+      // Earlier tasks sleep longer, so completion order inverts
+      // submission order within each worker's stride.
+      std::this_thread::sleep_for(std::chrono::microseconds((kTasks - i) * 10));
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCallerAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::future<int> boom = pool.Submit([]() -> int {
+    throw std::runtime_error("cell exploded");
+  });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  std::future<int> ok = pool.Submit([] { return 7; });
+  EXPECT_EQ(ok.get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageSurvivesTheFuture) {
+  ThreadPool pool(1);
+  std::future<void> boom = pool.Submit([] {
+    throw std::runtime_error("scheduler made no progress");
+  });
+  try {
+    boom.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "scheduler made no progress");
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmissionCompletes) {
+  ThreadPool pool(2);
+  std::future<int> outer = pool.Submit([&pool] {
+    // Submitting from inside a worker must not deadlock; the second
+    // worker (or this one, after finishing) picks the nested task up.
+    std::future<int> inner = pool.Submit([] { return 21; });
+    return inner.get() * 2;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInlineOnTheCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::future<std::thread::id> ran_on = pool.Submit([] { return std::this_thread::get_id(); });
+  // Inline mode: the future is ready the moment Submit returns.
+  ASSERT_EQ(ran_on.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(ran_on.get(), caller);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsNestedSubmissionRunsInline) {
+  ThreadPool pool(0);
+  std::future<int> outer = pool.Submit([&pool] {
+    std::future<int> inner = pool.Submit([] { return 5; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 6);
+}
+
+TEST(ThreadPoolTest, OneThreadExecutesInFifoOrder) {
+  std::vector<int> order;
+  std::mutex mu;
+  {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.Submit([i, &order, &mu] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(i);
+      }));
+    }
+    for (auto& future : futures) {
+      future.get();
+    }
+  }
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      }));
+    }
+    // Destroy with most tasks still queued behind the single worker.
+  }
+  EXPECT_EQ(ran.load(), 8);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+}  // namespace
+}  // namespace adaserve
