@@ -24,6 +24,13 @@ class RoundRobinScheduler : public Scheduler {
 
   std::string_view name() const override { return "RoundRobin"; }
 
+  // Optional third hook: the admission-priority default for tick-native
+  // runs. Declaring kSloUrgentFirst makes urgent-category arrivals jump
+  // the admission queue (EngineConfig::admission_priority overrides it).
+  PriorityPolicy AdmissionPriority() const override {
+    return PriorityPolicy::kSloUrgentFirst;
+  }
+
  protected:
   IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override {
     IterationRecord record;

@@ -24,6 +24,10 @@ class PriorityScheduler : public Scheduler {
 
   std::string_view name() const override { return "vLLM+Priority"; }
 
+  // Priority extends to tick-native admission: urgent arrivals jump the
+  // queue, consistent with the urgent-only decode batches below.
+  PriorityPolicy AdmissionPriority() const override { return PriorityPolicy::kSloUrgentFirst; }
+
  protected:
   IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
   // Tick-native decode phase: urgent-only decode whenever any urgent

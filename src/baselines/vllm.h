@@ -23,6 +23,10 @@ class VllmScheduler : public Scheduler {
 
   std::string_view name() const override { return "vLLM"; }
 
+  // vLLM admits strictly FIFO; SLO-blindness at admission is part of the
+  // baseline the paper compares against.
+  PriorityPolicy AdmissionPriority() const override { return PriorityPolicy::kFifo; }
+
  protected:
   IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
   IterationRecord DecodePhase(SimTime now, RequestPool& pool, ServingContext& ctx) override;

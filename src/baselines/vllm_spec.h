@@ -25,6 +25,9 @@ class VllmSpecScheduler : public Scheduler {
 
   std::string_view name() const override { return name_; }
 
+  // Speculation changes decode, not admission: FIFO like base vLLM.
+  PriorityPolicy AdmissionPriority() const override { return PriorityPolicy::kFifo; }
+
  protected:
   IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
   // Tick-native decode phase: the k-token chain speculate-verify pass.

@@ -29,6 +29,10 @@ class VtcScheduler : public Scheduler {
 
   std::string_view name() const override { return "VTC"; }
 
+  // Fairness across services is the point: admission must not favor a
+  // category, so VTC keeps FIFO admission.
+  PriorityPolicy AdmissionPriority() const override { return PriorityPolicy::kFifo; }
+
  protected:
   IterationRecord DrainStep(SimTime now, RequestPool& pool, ServingContext& ctx) override;
   // Tick-native decode phase: the counter-ordered fair decode batch.

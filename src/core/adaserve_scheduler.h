@@ -53,6 +53,10 @@ class AdaServeScheduler : public Scheduler {
 
   std::string_view name() const override { return "AdaServe"; }
 
+  // SLO-customized serving extends to admission: urgent-category arrivals
+  // jump the queue and may recompute-evict non-urgent prefills.
+  PriorityPolicy AdmissionPriority() const override { return PriorityPolicy::kSloUrgentFirst; }
+
   // Last iteration's (d, w) — exposed for the adaptive-control tests.
   const BeamConfig& last_beam() const { return last_beam_; }
 

@@ -101,10 +101,14 @@ std::vector<ComparisonPoint> RunComparison(const Experiment& exp,
 }
 
 EngineConfig ContinuousTickConfig() {
+  return EngineConfig{};  // Tick-native is the default mode.
+}
+
+EngineConfig BoundaryTickConfig() {
   EngineConfig engine;
-  engine.continuous_ticks = true;
-  engine.prefill_burst = kBurst;
-  engine.max_evictions_per_tick = 4;
+  engine.continuous_ticks = false;
+  engine.max_evictions_per_tick = 0;
+  engine.admission_priority = PriorityPolicy::kFifo;
   return engine;
 }
 

@@ -29,6 +29,10 @@ Setup GoldenSetup() {
   return setup;
 }
 
+std::string GoldenModePrefix(GoldenMode mode) {
+  return mode == GoldenMode::kTickNative ? "tick_" : "";
+}
+
 std::string GoldenScenarioPrefix(GoldenScenario scenario) {
   switch (scenario) {
     case GoldenScenario::kRealTrace:
@@ -79,9 +83,12 @@ std::vector<Request> GoldenWorkload(const Experiment& exp, const GoldenConfig& c
 }
 
 EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind, const GoldenConfig& config,
-                             GoldenScenario scenario) {
+                             GoldenScenario scenario, GoldenMode mode) {
   auto scheduler = MakeScheduler(kind);
-  EngineConfig engine;
+  // kTickNative is EngineConfig{} — the serving default the tick_ corpus
+  // pins; kBoundary reproduces the legacy drain loop and its corpus.
+  EngineConfig engine =
+      mode == GoldenMode::kBoundary ? BoundaryTickConfig() : EngineConfig{};
   engine.sampling_seed = config.sampling_seed;
   if (scenario == GoldenScenario::kRealTrace) {
     return exp.Run(*scheduler, GoldenWorkload(exp, config), engine);

@@ -38,8 +38,25 @@ enum class GoldenScenario {
   kDiurnal,
 };
 
+// Serving modes pinned by golden baselines. Every scenario exists in both
+// corpora: kTickNative (files prefixed tick_) pins the default serving
+// mode — continuous ticks with each scheduler's admission-priority
+// default and evict-for-admission — while kBoundary (unprefixed files,
+// the pre-tick corpus) pins the legacy drain loop via BoundaryTickConfig
+// and must never drift (tick_equivalence_test additionally proves it
+// byte-identical to Experiment::RunLegacyDrainLoop).
+enum class GoldenMode {
+  kTickNative,
+  kBoundary,
+};
+
 // Baseline filename prefix: "", "bursty_", "diurnal_".
 std::string GoldenScenarioPrefix(GoldenScenario scenario);
+
+// Baseline filename mode prefix: "tick_" for kTickNative, "" for
+// kBoundary. Composes in front of the scenario prefix, e.g.
+// tick_bursty_adaserve.txt.
+std::string GoldenModePrefix(GoldenMode mode);
 
 // Builds the canonical fixed-seed stream for a streaming scenario
 // (kBursty/kDiurnal only).
@@ -52,11 +69,12 @@ std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenSce
 // trace.
 std::vector<Request> GoldenWorkload(const Experiment& exp, const GoldenConfig& config = {});
 
-// Runs `kind` on the canonical workload of `scenario` and returns its
-// result.
+// Runs `kind` on the canonical workload of `scenario` under `mode` and
+// returns its result. The default is the serving default: tick-native.
 EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind,
                              const GoldenConfig& config = {},
-                             GoldenScenario scenario = GoldenScenario::kRealTrace);
+                             GoldenScenario scenario = GoldenScenario::kRealTrace,
+                             GoldenMode mode = GoldenMode::kTickNative);
 
 // Serializes the regression-relevant metrics (finished count, throughput,
 // SLO attainment, goodput, acceptance rate, per-category breakdown) to a

@@ -56,4 +56,56 @@ std::vector<SweepCellResult> RunSetupSweep(SweepRunner& runner, const Setup& set
                        });
 }
 
+std::vector<SeedShardCell> RunSeedShardedSweep(SweepRunner& runner, const Setup& setup,
+                                               const std::vector<SystemKind>& systems,
+                                               const std::vector<double>& xs,
+                                               const std::vector<uint64_t>& seeds,
+                                               const SeedWorkloadFn& make_workload,
+                                               const EngineConfig& engine) {
+  ADASERVE_CHECK(make_workload != nullptr) << "RunSeedShardedSweep needs a workload factory";
+  ADASERVE_CHECK(!seeds.empty()) << "RunSeedShardedSweep needs at least one seed";
+  // One task per (x, system, seed) shard, x-major like RunSystemGrid so
+  // sharded and unsharded sweeps submit cells in the same order.
+  std::vector<std::function<Metrics()>> tasks;
+  tasks.reserve(xs.size() * systems.size() * seeds.size());
+  for (double x : xs) {
+    for (SystemKind system : systems) {
+      for (uint64_t seed : seeds) {
+        tasks.push_back([&setup, &make_workload, &engine, system, x, seed] {
+          const Experiment exp(setup);
+          std::vector<Request> workload = make_workload(exp, x, seed);
+          auto scheduler = MakeScheduler(system);
+          return exp.Run(*scheduler, std::move(workload), engine).metrics;
+        });
+      }
+    }
+  }
+  std::vector<Timed<Metrics>> timed = runner.Map(tasks);
+
+  std::vector<SeedShardCell> cells;
+  cells.reserve(xs.size() * systems.size());
+  size_t i = 0;
+  for (double x : xs) {
+    for (SystemKind system : systems) {
+      SeedShardCell cell;
+      cell.system = system;
+      cell.x = x;
+      cell.seeds = seeds;
+      cell.per_seed.reserve(seeds.size());
+      // Aggregation runs here, in seed order, regardless of which worker
+      // finished first — thread count cannot perturb the accumulators.
+      for (size_t s = 0; s < seeds.size(); ++s, ++i) {
+        const Metrics& m = timed[i].value;
+        cell.goodput_tps.Add(m.GoodputTps());
+        cell.attainment_pct.Add(m.AttainmentPct());
+        cell.throughput_tps.Add(m.ThroughputTps());
+        cell.wall_clock_s += timed[i].wall_clock_s;
+        cell.per_seed.push_back(std::move(timed[i].value));
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
 }  // namespace adaserve

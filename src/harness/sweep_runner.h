@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/common/thread_pool.h"
 #include "src/harness/comparisons.h"
 #include "src/harness/experiment.h"
@@ -124,6 +125,45 @@ std::vector<SweepCellResult> RunSetupSweep(SweepRunner& runner, const Setup& set
                                            const std::vector<double>& xs,
                                            const SweepWorkloadFn& make_workload,
                                            const EngineConfig& engine = {});
+
+// --- per-seed sharding (variance studies) ---
+
+// One (system × x) cell fanned over N trace seeds. Per-shard metrics stay
+// in seed order; the headline metrics aggregate across shards with
+// RunningStat (mean/stddev), accumulated in seed order so every value —
+// including the float-order-sensitive stddev — is identical at any
+// thread count.
+struct SeedShardCell {
+  SystemKind system;
+  double x = 0.0;
+  std::vector<uint64_t> seeds;
+  // Full metrics of each shard, seed order (same indexing as `seeds`).
+  std::vector<Metrics> per_seed;
+  RunningStat goodput_tps;
+  RunningStat attainment_pct;
+  RunningStat throughput_tps;
+  // Sum of the shard tasks' own compute seconds.
+  double wall_clock_s = 0.0;
+};
+
+// Workload of one (x, seed) shard, built on the shard's own Experiment.
+// Called concurrently; must only read `exp` and its captures.
+using SeedWorkloadFn =
+    std::function<std::vector<Request>(const Experiment& exp, double x, uint64_t seed)>;
+
+// Fans the full systems × xs × seeds grid out through `runner` — every
+// shard an independent task with its own Experiment, workload, and
+// scheduler, exactly like RunSetupSweep cells — and reassembles per-cell
+// aggregates x-major (systems inner, seeds innermost). `seeds` must be
+// non-empty; with a single seed each cell's lone shard is byte-identical
+// to the corresponding RunSetupSweep cell for that seed (pinned by
+// tests/sweep_parallel_equivalence_test.cc).
+std::vector<SeedShardCell> RunSeedShardedSweep(SweepRunner& runner, const Setup& setup,
+                                               const std::vector<SystemKind>& systems,
+                                               const std::vector<double>& xs,
+                                               const std::vector<uint64_t>& seeds,
+                                               const SeedWorkloadFn& make_workload,
+                                               const EngineConfig& engine = {});
 
 }  // namespace adaserve
 

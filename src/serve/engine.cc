@@ -40,7 +40,16 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
   ctx.tick.max_active = config_.max_active_requests;
   ctx.tick.continuous = config_.continuous_ticks;
   ctx.tick.prefill_burst = config_.prefill_burst;
-  ctx.tick.max_evictions = config_.max_evictions_per_tick;
+  // Boundary mode is the legacy drain loop, byte-for-byte: it admits
+  // FIFO and never evicts, regardless of the tick-native knobs — with
+  // eviction and priority now defaulted on, `continuous_ticks = false`
+  // alone must still mean "the historical engine". Tick-native mode
+  // resolves the priority override first, then the scheduler's default.
+  ctx.tick.max_evictions = config_.continuous_ticks ? config_.max_evictions_per_tick : 0;
+  ctx.tick.priority =
+      config_.continuous_ticks
+          ? config_.admission_priority.value_or(scheduler.AdmissionPriority())
+          : PriorityPolicy::kFifo;
 
   // Pull until this many requests sit in the admission queue: admission can
   // consume at most max_active_requests per tick, so holding that many

@@ -19,6 +19,7 @@
 #ifndef ADASERVE_SRC_SERVE_ENGINE_H_
 #define ADASERVE_SRC_SERVE_ENGINE_H_
 
+#include <optional>
 #include <vector>
 
 #include "src/hw/budget.h"
@@ -36,10 +37,13 @@ struct EngineConfig {
   uint64_t sampling_seed = 1234;
   DecodeMode mode = DecodeMode::kStochastic;
   // Queued arrivals pulled from the stream beyond what admission can
-  // consume this iteration. Any value >= 0 yields identical scheduling
-  // (admission is FIFO and can admit at most max_active_requests per
-  // iteration); the horizon only bounds how much of a due burst is
-  // resident at once.
+  // consume this iteration. Under FIFO admission any value >= 0 yields
+  // identical scheduling (admission can admit at most
+  // max_active_requests per iteration) and the horizon only bounds how
+  // much of a due burst is resident at once. Under a priority admission
+  // policy it additionally bounds how deep into a due burst the ranker
+  // can see: an urgent arrival beyond the horizon cannot jump the queue
+  // until the backlog ahead of it is pulled.
   int arrival_horizon = 256;
   // Keep the per-iteration log in EngineResult::iterations. Turn off for
   // huge streaming runs; metrics aggregate the log either way.
@@ -49,16 +53,23 @@ struct EngineConfig {
   // and EngineResult::requests is left empty. Metrics are bit-identical
   // to a non-retiring run.
   bool retire_finished = false;
-  // Tick-native continuous batching: admission moves inside the tick
-  // (including mid-tick, after the decode phase) and prefill runs as a
-  // shared burst-capped phase. Default off: boundary admission +
-  // drain-style iterations, byte-identical to the historical loop.
-  bool continuous_ticks = false;
+  // Tick-native continuous batching (the serving default): admission
+  // moves inside the tick (including mid-tick, after the decode phase)
+  // and prefill runs as a shared burst-capped phase. Set false — or use
+  // BoundaryTickConfig() — for boundary admission + drain-style
+  // iterations, byte-identical to the historical loop and its goldens.
+  bool continuous_ticks = true;
   // kBurst-style per-request prefill cap of a tick-native prefill phase.
   int prefill_burst = kBurst;
   // Tick-native mode: recompute-style evictions allowed per tick when the
   // admission-queue head is blocked on KV (0 disables eviction).
-  int max_evictions_per_tick = 0;
+  int max_evictions_per_tick = 4;
+  // Tick-native admission-priority override. Unset defers to the
+  // scheduler's AdmissionPriority() default (e.g. AdaServe admits
+  // urgent-first, vLLM stays FIFO); set forces the policy for any
+  // scheduler. Boundary mode always admits FIFO regardless — the drain
+  // loop's byte-identity to the legacy engine depends on it.
+  std::optional<PriorityPolicy> admission_priority;
 };
 
 struct EngineResult {

@@ -30,11 +30,23 @@ const Request& RequestPool::Get(RequestId id) const {
   return requests_[static_cast<size_t>(id - base_id_)];
 }
 
-RequestId RequestPool::TryAdmit(int max_active) {
-  if (queued_.empty() || static_cast<int>(active_.size()) >= max_active) {
-    return kInvalidRequestId;
+std::deque<RequestId>::iterator RequestPool::RankedHead(const AdmissionRanker& rank) {
+  auto head = queued_.begin();
+  if (!rank) {
+    return head;
   }
-  const RequestId id = queued_.front();
+  // Stable min under the ranker: only a strictly better-ranked request
+  // displaces the current head, so ties keep queue (arrival) order.
+  for (auto it = std::next(head); it != queued_.end(); ++it) {
+    if (rank(Get(*it), Get(*head))) {
+      head = it;
+    }
+  }
+  return head;
+}
+
+RequestId RequestPool::TryAdmitAt(std::deque<RequestId>::iterator head) {
+  const RequestId id = *head;
   Request& req = Get(id);
   // Worst-case footprint: full prompt + full output. Reserving up front
   // guarantees no mid-decode OOM.
@@ -42,7 +54,7 @@ RequestId RequestPool::TryAdmit(int max_active) {
   if (!kv_->Reserve(id, footprint)) {
     return kInvalidRequestId;
   }
-  queued_.pop_front();
+  queued_.erase(head);
   active_.push_back(id);
   if (!req.PrefillDone()) {
     req.state = RequestState::kPrefilling;
@@ -52,40 +64,58 @@ RequestId RequestPool::TryAdmit(int max_active) {
   return id;
 }
 
-int RequestPool::AdmitUpTo(int max_active) {
+RequestId RequestPool::TryAdmit(int max_active, const AdmissionRanker& rank) {
+  if (queued_.empty() || static_cast<int>(active_.size()) >= max_active) {
+    return kInvalidRequestId;
+  }
+  return TryAdmitAt(RankedHead(rank));
+}
+
+int RequestPool::AdmitUpTo(int max_active, const AdmissionRanker& rank) {
   int admitted = 0;
-  while (TryAdmit(max_active) != kInvalidRequestId) {
+  while (TryAdmit(max_active, rank) != kInvalidRequestId) {
     ++admitted;
   }
   return admitted;
 }
 
-RequestId RequestPool::AdmitWithEviction(int max_active, int max_evictions, int* evicted) {
-  RequestId admitted = TryAdmit(max_active);
-  if (admitted != kInvalidRequestId || queued_.empty() ||
-      static_cast<int>(active_.size()) >= max_active) {
-    return admitted;  // Admitted normally, or blocked on slots, not KV.
+RequestId RequestPool::AdmitWithEviction(int max_active, int max_evictions, int* evicted,
+                                         const AdmissionRanker& rank,
+                                         const VictimSelector& select_victim) {
+  if (queued_.empty() || static_cast<int>(active_.size()) >= max_active) {
+    return kInvalidRequestId;  // Blocked on slots, not KV.
+  }
+  // One ranked-head scan serves both the plain attempt and the eviction
+  // path (the ranker rescan would be O(queue) on the per-tick hot path).
+  const auto head_it = RankedHead(rank);
+  const RequestId admitted = TryAdmitAt(head_it);
+  if (admitted != kInvalidRequestId) {
+    return admitted;
   }
   // The head is blocked on KV. Set it aside so evicted requests queue
-  // behind it, then evict newest-admitted zero-output requests until its
-  // worst-case footprint fits.
-  const RequestId head = queued_.front();
-  queued_.pop_front();
+  // behind it, then evict victims until its worst-case footprint fits.
+  const RequestId head = *head_it;
+  queued_.erase(head_it);
   const long footprint = Get(head).prompt_len + Get(head).target_output_len;
   int evictions = 0;
   while (evictions < max_evictions && !kv_->CanReserve(footprint)) {
     RequestId victim = kInvalidRequestId;
-    for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
-      if (Get(*it).committed_len == 0) {
-        victim = *it;
-        break;
+    if (select_victim) {
+      victim = select_victim(Get(head), *this);
+    } else {
+      for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
+        if (Get(*it).committed_len == 0) {
+          victim = *it;
+          break;
+        }
       }
     }
     if (victim == kInvalidRequestId) {
-      break;  // Everything active has committed output; nothing evictable.
+      break;  // Nothing (more) the policy is willing to evict.
     }
-    // Victims are picked newest-first and each push_front reverses, so the
-    // queue ends up holding them in ascending (arrival) order.
+    // Each push_front reverses eviction order: the default newest-first
+    // selector leaves victims queued in ascending (arrival) order, the
+    // SLO-aware loosest-first selector leaves tighter-SLO victims first.
     Evict(victim);
     ++evictions;
   }
@@ -93,7 +123,10 @@ RequestId RequestPool::AdmitWithEviction(int max_active, int max_evictions, int*
   if (evicted != nullptr) {
     *evicted += evictions;
   }
-  return TryAdmit(max_active);
+  // Admit the head we evicted for, not a ranker rescan: the room was
+  // made for this specific request (victims rank no better than it
+  // under the paired policies), and the front slot is where it sits.
+  return TryAdmitAt(queued_.begin());
 }
 
 void RequestPool::Evict(RequestId id) {

@@ -22,6 +22,18 @@ namespace adaserve {
 
 class RequestPool {
  public:
+  // Admission-order ranker: returns true when `a` should be admitted
+  // before `b`. Selection is stable — ties keep queue (arrival) order —
+  // and a null ranker means plain FIFO, the historical behavior.
+  using AdmissionRanker = std::function<bool(const Request&, const Request&)>;
+
+  // Picks the next eviction victim to make room for `head` from the
+  // pool's active requests, or kInvalidRequestId when nothing (more)
+  // should be evicted. Implementations must only return requests with no
+  // committed output (Evict checks); a null selector falls back to the
+  // newest-admitted zero-output request.
+  using VictimSelector = std::function<RequestId(const Request& head, const RequestPool&)>;
+
   explicit RequestPool(KvCache* kv);
 
   // Adds an arriving request to the back of the admission queue. Ids must
@@ -39,25 +51,34 @@ class RequestPool {
   Request& Get(RequestId id);
   const Request& Get(RequestId id) const;
 
-  // Admits the front queued request if its worst-case KV footprint fits and
-  // the active count is below `max_active`. Returns the admitted id or
-  // kInvalidRequestId.
-  RequestId TryAdmit(int max_active);
+  // Admits the head queued request — the queue front, or the best-ranked
+  // queued request under `rank` — if its worst-case KV footprint fits and
+  // the active count is below `max_active`. Head-of-line semantics are
+  // preserved under ranking: when the ranked head is blocked on KV,
+  // admission stops rather than skipping to a worse-ranked request.
+  // Returns the admitted id or kInvalidRequestId.
+  RequestId TryAdmit(int max_active, const AdmissionRanker& rank = nullptr);
 
-  // Admits FIFO until blocked; returns number admitted.
-  int AdmitUpTo(int max_active);
+  // Admits (FIFO or ranked) until blocked; returns number admitted.
+  int AdmitUpTo(int max_active, const AdmissionRanker& rank = nullptr);
 
   // Admission under KV pressure (the boundary admission phase of a
-  // tick-native tick uses this): tries to admit the queue head, and when
-  // it is blocked on KV alone, evicts newest-admitted requests
-  // with no committed output (recompute-style: KV released, prefill
-  // progress reset) until the head fits, at most `max_evictions` of them.
-  // Evicted requests re-enter the queue immediately behind the head in
-  // their original arrival order, so they are retried before older queued
-  // work and FIFO fairness is preserved. `*evicted` (when non-null) is
-  // incremented per eviction. Returns the admitted id or
-  // kInvalidRequestId (evictions already performed are kept either way).
-  RequestId AdmitWithEviction(int max_active, int max_evictions, int* evicted = nullptr);
+  // tick-native tick uses this): tries to admit the head (queue front or
+  // ranked-best), and when it is blocked on KV alone, evicts victims
+  // chosen by `select_victim` — newest-admitted zero-output requests when
+  // null — recompute-style (KV released, prefill progress reset) until
+  // the head fits, at most `max_evictions` of them. Evicted requests
+  // re-enter the queue immediately behind the head in reverse eviction
+  // order, so they are retried before older queued work: with the null
+  // (newest-first) selector that is their original arrival order, and
+  // with the SLO-aware selector (loosest-SLO-first eviction)
+  // tighter-SLO victims queue first; equal-rank victims always keep
+  // arrival order. `*evicted` (when non-null) is incremented per
+  // eviction. Returns the admitted id or kInvalidRequestId (evictions
+  // already performed are kept either way).
+  RequestId AdmitWithEviction(int max_active, int max_evictions, int* evicted = nullptr,
+                              const AdmissionRanker& rank = nullptr,
+                              const VictimSelector& select_victim = nullptr);
 
   // Eviction hook (recompute-style): releases the request's KV, resets
   // its prefill progress, and returns it to the front of the admission
@@ -108,6 +129,15 @@ class RequestPool {
   size_t RetireFinishedPrefix(const std::function<void(const Request&)>& sink);
 
  private:
+  // Queue position of the next request to admit: the front, or the stable
+  // minimum under `rank`. Requires a non-empty queue.
+  std::deque<RequestId>::iterator RankedHead(const AdmissionRanker& rank);
+
+  // Admits the queued request at `head` if its worst-case KV footprint
+  // fits (no slot check — callers guarantee a free slot). On KV failure
+  // the queue is left untouched.
+  RequestId TryAdmitAt(std::deque<RequestId>::iterator head);
+
   void Finish(RequestId id, SimTime now);
 
   KvCache* kv_;

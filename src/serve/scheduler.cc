@@ -95,13 +95,46 @@ IterationRecord RunDecodeIteration(SimTime now, RequestPool& pool, ServingContex
   return record;
 }
 
+RequestPool::AdmissionRanker PriorityRanker(PriorityPolicy policy) {
+  if (policy == PriorityPolicy::kFifo) {
+    return nullptr;  // The pool's null-ranker path is exact arrival order.
+  }
+  return [](const Request& a, const Request& b) { return a.tpot_slo < b.tpot_slo; };
+}
+
+RequestPool::VictimSelector PriorityVictimSelector(PriorityPolicy policy) {
+  if (policy == PriorityPolicy::kFifo) {
+    return nullptr;  // Pool default: newest-admitted zero-output request.
+  }
+  return [](const Request& head, const RequestPool& pool) {
+    RequestId victim = kInvalidRequestId;
+    // Newest-first scan, keeping the loosest-SLO candidate: the least
+    // urgent prefilling request is recomputed first, and among equals the
+    // newest loses (it has the least prefill progress to redo).
+    for (auto it = pool.active().rbegin(); it != pool.active().rend(); ++it) {
+      const Request& req = pool.Get(*it);
+      if (req.state != RequestState::kPrefilling || req.committed_len != 0 ||
+          req.tpot_slo <= head.tpot_slo) {
+        continue;
+      }
+      if (victim == kInvalidRequestId || req.tpot_slo > pool.Get(victim).tpot_slo) {
+        victim = *it;
+      }
+    }
+    return victim;
+  };
+}
+
 int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted) {
-  int admitted = pool.AdmitUpTo(opts.max_active);
+  const RequestPool::AdmissionRanker rank = PriorityRanker(opts.priority);
+  int admitted = pool.AdmitUpTo(opts.max_active, rank);
   if (opts.max_evictions > 0) {
+    const RequestPool::VictimSelector select_victim = PriorityVictimSelector(opts.priority);
     int evictions_left = opts.max_evictions;
     while (evictions_left > 0 && !pool.queued().empty()) {
       int evicted_now = 0;
-      const RequestId id = pool.AdmitWithEviction(opts.max_active, evictions_left, &evicted_now);
+      const RequestId id = pool.AdmitWithEviction(opts.max_active, evictions_left, &evicted_now,
+                                                  rank, select_victim);
       evictions_left -= evicted_now;
       if (evicted != nullptr) {
         *evicted += evicted_now;
@@ -110,8 +143,8 @@ int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted) {
         break;
       }
       ++admitted;
-      // The freed headroom may unblock plain FIFO admission too.
-      admitted += pool.AdmitUpTo(opts.max_active);
+      // The freed headroom may unblock plain admission too.
+      admitted += pool.AdmitUpTo(opts.max_active, rank);
     }
   }
   return admitted;
@@ -121,7 +154,7 @@ int MidTickAdmitPhase(SimTime t, RequestPool& pool, ServingContext& ctx) {
   if (ctx.pull_arrivals) {
     ctx.pull_arrivals(t);
   }
-  return pool.AdmitUpTo(ctx.tick.max_active);
+  return pool.AdmitUpTo(ctx.tick.max_active, PriorityRanker(ctx.tick.priority));
 }
 
 IterationRecord RunBudgetedPrefillPhase(SimTime now, RequestPool& pool, ServingContext& ctx,

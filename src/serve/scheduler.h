@@ -37,6 +37,18 @@ namespace adaserve {
 // bounded by ~budget/kBurst peers per tick.
 inline constexpr int kBurst = 512;
 
+// Admission-ordering policy of the tick's admission phases (boundary and
+// mid-tick). kFifo admits in arrival order — the historical behavior and
+// the only order the drain-style boundary mode can express. kSloUrgentFirst
+// is the paper's SLO-customized admission: requests from tighter-TPOT-SLO
+// categories jump the queue at both admission points, and the
+// evict-for-admission phase may recompute-evict a strictly less urgent
+// *prefilling* request to make room for an urgent head.
+enum class PriorityPolicy {
+  kFifo,
+  kSloUrgentFirst,
+};
+
 // Per-tick policy knobs the engine hands to the scheduler. In boundary
 // mode (continuous == false) only max_active matters and ticks reproduce
 // the legacy admit-then-drain loop exactly.
@@ -52,6 +64,11 @@ struct TickOptions {
   // Continuous mode: max recompute-style evictions per boundary admission
   // phase (0 disables evict-for-admission).
   int max_evictions = 0;
+  // Admission ordering of both admission phases, and the victim policy of
+  // evict-for-admission. The engine resolves this from EngineConfig /
+  // the scheduler's AdmissionPriority() in tick-native mode and forces
+  // kFifo in boundary mode (drain-loop byte-identity).
+  PriorityPolicy priority = PriorityPolicy::kFifo;
 };
 
 // Shared services handed to schedulers each tick. Non-owning.
@@ -121,6 +138,11 @@ class Scheduler {
     return DrainStep(now, pool, ctx);
   }
 
+  // The scheduler's default admission-priority policy for tick-native
+  // serving; EngineConfig::admission_priority overrides it and boundary
+  // mode ignores it (admission there is always FIFO). Base default: FIFO.
+  virtual PriorityPolicy AdmissionPriority() const { return PriorityPolicy::kFifo; }
+
  protected:
   // Drain-style iteration (admit/prefill/decode in one scheduler-owned
   // pass). Assumes admission already ran and the pool has active work.
@@ -154,17 +176,31 @@ std::vector<RequestId> PrefillingRequests(const RequestPool& pool);
 
 // --- tick-phase variants of the shared building blocks ---
 
-// Boundary admission phase: FIFO admission up to the slot cap. With
-// opts.max_evictions > 0, a queue head blocked on KV may evict
-// newest-admitted zero-output requests (recompute-style) to make room;
-// the eviction count is accumulated into *evicted when non-null.
+// Admission ranker of a priority policy: null for kFifo (arrival order),
+// tighter-TPOT-SLO-first for kSloUrgentFirst (ties keep arrival order).
+RequestPool::AdmissionRanker PriorityRanker(PriorityPolicy policy);
+
+// Evict-for-admission victim selector of a priority policy: null for
+// kFifo (newest-admitted zero-output request, any category), SLO-aware
+// for kSloUrgentFirst — the head may only evict a *prefilling* request
+// whose TPOT SLO is strictly looser than its own, least urgent victims
+// first (newest-admitted breaks ties), so urgent work is never recomputed
+// to admit more urgent work it cannot beat.
+RequestPool::VictimSelector PriorityVictimSelector(PriorityPolicy policy);
+
+// Boundary admission phase: admission in opts.priority order up to the
+// slot cap. With opts.max_evictions > 0, a queue head blocked on KV may
+// evict victims chosen by the policy (recompute-style) to make room; the
+// eviction count is accumulated into *evicted when non-null.
 int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted = nullptr);
 
 // Mid-tick admission phase: pulls arrivals due by `t` (via
-// ctx.pull_arrivals, when set) and admits FIFO. Requests arriving while
-// the decode phase occupied the GPU join this tick's prefill phase instead
-// of waiting for the next boundary — the admission latency the drain loop
-// could not avoid.
+// ctx.pull_arrivals, when set) and admits in ctx.tick.priority order.
+// Requests arriving while the decode phase occupied the GPU join this
+// tick's prefill phase instead of waiting for the next boundary — the
+// admission latency the drain loop could not avoid; under
+// kSloUrgentFirst an urgent arrival additionally jumps every queued
+// non-urgent request.
 int MidTickAdmitPhase(SimTime t, RequestPool& pool, ServingContext& ctx);
 
 // Budgeted prefill phase: one chunked-prefill pass over prefilling

@@ -25,7 +25,9 @@ TEST_F(AdaServeSchedulerTest, VerifiedTokensNeverExceedBudget) {
   AdaServeScheduler scheduler;
   const std::vector<Request> workload = SmallMixedWorkload(exp_, /*duration=*/10.0, /*rps=*/4.0);
   const int budget = 64;
-  const EngineResult result = exp_.Run(scheduler, workload, {}, budget);
+  // Boundary mode: the drain step co-batches prefill chunks inside the
+  // same budget, so the bound covers roots + speculation + prefill.
+  const EngineResult result = exp_.Run(scheduler, workload, BoundaryTickConfig(), budget);
   for (const IterationRecord& rec : result.iterations) {
     // Budget covers roots + speculated tokens + co-batched prefill chunks;
     // dedicated prefill passes (verified_tokens == 0) may exceed it.
@@ -33,6 +35,22 @@ TEST_F(AdaServeSchedulerTest, VerifiedTokensNeverExceedBudget) {
       EXPECT_LE(rec.decode_requests + rec.verified_tokens + rec.prefill_tokens,
                 std::max(budget, rec.decode_requests + rec.prefill_tokens))
           << "speculation overflowed the budget";
+    }
+  }
+}
+
+TEST_F(AdaServeSchedulerTest, TickNativeDecodePhaseRespectsBudget) {
+  // In the tick-native default the prefill phase is budgeted separately
+  // (leftover budget with a kBurst floor), but the decode phase's
+  // speculation — roots plus verified tokens — must still fit B.
+  AdaServeScheduler scheduler;
+  const std::vector<Request> workload = SmallMixedWorkload(exp_, /*duration=*/10.0, /*rps=*/4.0);
+  const int budget = 64;
+  const EngineResult result = exp_.Run(scheduler, workload, {}, budget);
+  for (const IterationRecord& rec : result.iterations) {
+    if (rec.verified_tokens > 0) {
+      EXPECT_LE(rec.decode_requests + rec.verified_tokens, budget)
+          << "tick-native speculation overflowed the budget";
     }
   }
 }

@@ -116,7 +116,10 @@ TEST_F(BaselinesTest, SarathiBoundsIterationTokens) {
   SarathiScheduler scheduler(config);
   const std::vector<Request> workload =
       UniformWorkload(exp_, 3, kCatSummarization, 0.05, /*prompt_len=*/500);
-  const EngineResult result = exp_.Run(scheduler, workload);
+  // Per-iteration chunk budgeting is a drain-step property: tick-native
+  // records merge the decode phase with the shared (kBurst-floored)
+  // prefill phase, so the bound only holds in boundary mode.
+  const EngineResult result = exp_.Run(scheduler, workload, BoundaryTickConfig());
   for (const IterationRecord& rec : result.iterations) {
     EXPECT_LE(rec.prefill_tokens + rec.decode_requests, 64 + 1);
   }
@@ -129,7 +132,9 @@ TEST_F(BaselinesTest, SarathiChunksLongPromptsAcrossIterations) {
   SarathiScheduler scheduler(config);
   const std::vector<Request> workload =
       UniformWorkload(exp_, 1, kCatSummarization, 0.0, /*prompt_len=*/300, /*output_len=*/4);
-  const EngineResult result = exp_.Run(scheduler, workload);
+  // Boundary mode: the tick-native prefill phase would swallow the whole
+  // prompt in one kBurst-capped pass instead of chunk_budget slices.
+  const EngineResult result = exp_.Run(scheduler, workload, BoundaryTickConfig());
   int prefill_iterations = 0;
   for (const IterationRecord& rec : result.iterations) {
     if (rec.prefill_tokens > 0) {
@@ -149,7 +154,9 @@ TEST_F(BaselinesTest, VllmPrefillPriorityStallsDecodes) {
   late.arrival = 0.2;
   late.stream_seed += 77;
   workload.push_back(late);
-  const EngineResult result = exp_.Run(scheduler, workload);
+  // Prefill/decode exclusivity is the drain-style iteration shape; a
+  // tick-native tick co-schedules both phases in one record by design.
+  const EngineResult result = exp_.Run(scheduler, workload, BoundaryTickConfig());
   for (const IterationRecord& rec : result.iterations) {
     // An iteration is either prefill or decode, never both (vLLM v0.8 default).
     EXPECT_TRUE(rec.prefill_tokens == 0 || rec.decode_requests == 0);

@@ -215,7 +215,7 @@ TEST_F(EngineTest, ContinuousTicksAdmitLateArrivalsSoonerThanBoundaryTicks) {
   workload[1].arrival = 0.005;
 
   VllmScheduler boundary_scheduler;
-  const EngineResult boundary = exp_.Run(boundary_scheduler, workload);
+  const EngineResult boundary = exp_.Run(boundary_scheduler, workload, BoundaryTickConfig());
   VllmScheduler continuous_scheduler;
   const EngineResult continuous =
       exp_.Run(continuous_scheduler, workload, ContinuousTickConfig());

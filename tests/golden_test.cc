@@ -1,15 +1,30 @@
 // Golden-metrics regression test: every system in MainComparisonSet() runs
-// the canonical fixed-seed workload and its key metrics must byte-match the
-// checked-in baseline under tests/golden/.
+// the canonical fixed-seed workload of every scenario in BOTH serving
+// modes, and its key metrics must byte-match the checked-in baseline under
+// tests/golden/:
+//   - tick-native mode (the serving default: continuous ticks, scheduler
+//     admission-priority defaults, evict-for-admission) pins the
+//     tick_-prefixed corpus;
+//   - boundary mode (BoundaryTickConfig — the legacy drain loop) pins the
+//     unprefixed corpus, which must never drift.
 //
 // Regenerate baselines after an intentional behavior change with:
 //   ./golden_test --update_golden
+// Regeneration fans every (system × scenario × mode) cell out over a
+// SweepRunner; the test pass that follows recomputes each cell serially
+// and byte-compares it against the parallel-written file, so every
+// --update_golden run doubles as a parallel ≡ serial regeneration proof.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "src/common/logging.h"
 #include "src/harness/golden.h"
+#include "src/harness/sweep_runner.h"
 
 #ifndef ADASERVE_GOLDEN_DIR
 #define ADASERVE_GOLDEN_DIR "tests/golden"
@@ -18,23 +33,53 @@
 namespace adaserve {
 namespace {
 
-bool g_update_golden = false;
+const std::vector<GoldenScenario> kAllScenarios = {
+    GoldenScenario::kRealTrace, GoldenScenario::kBursty, GoldenScenario::kDiurnal};
+const std::vector<GoldenMode> kAllModes = {GoldenMode::kTickNative, GoldenMode::kBoundary};
 
-std::string GoldenPath(SystemKind kind, GoldenScenario scenario = GoldenScenario::kRealTrace) {
-  return std::string(ADASERVE_GOLDEN_DIR) + "/" + GoldenScenarioPrefix(scenario) +
-         GoldenFileSlug(kind) + ".txt";
+std::string GoldenPath(SystemKind kind, GoldenScenario scenario, GoldenMode mode) {
+  return std::string(ADASERVE_GOLDEN_DIR) + "/" + GoldenModePrefix(mode) +
+         GoldenScenarioPrefix(scenario) + GoldenFileSlug(kind) + ".txt";
 }
 
-void CheckAgainstBaseline(const Experiment& exp, SystemKind kind, GoldenScenario scenario) {
-  const EngineResult result = RunGoldenSystem(exp, kind, {}, scenario);
+// Regenerates the full corpus — every (system, scenario, mode) cell — with
+// the cells fanned out over a SweepRunner. Cells share the (immutable)
+// Experiment but build their own scheduler, engine, and stream, the same
+// contract RunComparison relies on. Returns false if any file write fails.
+bool RegenerateAllGoldens(const Experiment& exp, int threads) {
+  struct Cell {
+    std::string path;
+    std::string text;
+  };
+  std::vector<std::function<Cell()>> tasks;
+  for (SystemKind kind : MainComparisonSet()) {
+    for (GoldenScenario scenario : kAllScenarios) {
+      for (GoldenMode mode : kAllModes) {
+        tasks.push_back([&exp, kind, scenario, mode] {
+          const EngineResult result = RunGoldenSystem(exp, kind, {}, scenario, mode);
+          return Cell{GoldenPath(kind, scenario, mode),
+                      GoldenMetricsText(kind, result.metrics)};
+        });
+      }
+    }
+  }
+  SweepRunner runner(threads);
+  bool ok = true;
+  for (const Timed<Cell>& cell : runner.Map(tasks)) {
+    if (!WriteGoldenFile(cell.value.path, cell.value.text)) {
+      ADASERVE_LOG(Error) << "cannot write " << cell.value.path;
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void CheckAgainstBaseline(const Experiment& exp, SystemKind kind, GoldenScenario scenario,
+                          GoldenMode mode) {
+  const EngineResult result = RunGoldenSystem(exp, kind, {}, scenario, mode);
   ASSERT_GT(result.metrics.finished, 0) << SystemName(kind) << " finished nothing";
   const std::string actual = GoldenMetricsText(kind, result.metrics);
-  const std::string path = GoldenPath(kind, scenario);
-
-  if (g_update_golden) {
-    ASSERT_TRUE(WriteGoldenFile(path, actual)) << "cannot write " << path;
-    GTEST_SKIP() << "updated " << path;
-  }
+  const std::string path = GoldenPath(kind, scenario, mode);
 
   std::string expected;
   ASSERT_TRUE(ReadGoldenFile(path, &expected))
@@ -44,7 +89,9 @@ void CheckAgainstBaseline(const Experiment& exp, SystemKind kind, GoldenScenario
       << "; if intentional, regenerate with `golden_test --update_golden`";
 }
 
-class GoldenTest : public testing::TestWithParam<SystemKind> {
+using GoldenParams = std::tuple<SystemKind, GoldenMode>;
+
+class GoldenTest : public testing::TestWithParam<GoldenParams> {
  protected:
   // One experiment shared across all parameterized cases: building the
   // synthetic LM pair dominates setup cost.
@@ -59,35 +106,86 @@ class GoldenTest : public testing::TestWithParam<SystemKind> {
 Experiment* GoldenTest::exp_ = nullptr;
 
 TEST_P(GoldenTest, MetricsMatchBaseline) {
-  CheckAgainstBaseline(*exp_, GetParam(), GoldenScenario::kRealTrace);
+  const auto [kind, mode] = GetParam();
+  CheckAgainstBaseline(*exp_, kind, GoldenScenario::kRealTrace, mode);
 }
 
 // The streaming scenarios run through the lazy engine path (generator-backed
 // stream, bounded horizon, finished-request retirement), so these baselines
-// regression-pin the streaming admission and incremental-metrics machinery.
+// regression-pin the streaming admission and incremental-metrics machinery —
+// including, in tick-native mode, priority admission at the mid-tick pull.
 TEST_P(GoldenTest, BurstyStreamMetricsMatchBaseline) {
-  CheckAgainstBaseline(*exp_, GetParam(), GoldenScenario::kBursty);
+  const auto [kind, mode] = GetParam();
+  CheckAgainstBaseline(*exp_, kind, GoldenScenario::kBursty, mode);
 }
 
 TEST_P(GoldenTest, DiurnalStreamMetricsMatchBaseline) {
-  CheckAgainstBaseline(*exp_, GetParam(), GoldenScenario::kDiurnal);
+  const auto [kind, mode] = GetParam();
+  CheckAgainstBaseline(*exp_, kind, GoldenScenario::kDiurnal, mode);
 }
 
-std::string ParamName(const testing::TestParamInfo<SystemKind>& info) {
-  return GoldenFileSlug(info.param);
+std::string ParamName(const testing::TestParamInfo<GoldenParams>& info) {
+  const auto [kind, mode] = info.param;
+  return GoldenFileSlug(kind) +
+         (mode == GoldenMode::kTickNative ? "_tick_native" : "_boundary");
 }
 
 INSTANTIATE_TEST_SUITE_P(MainComparison, GoldenTest,
-                         testing::ValuesIn(MainComparisonSet()), ParamName);
+                         testing::Combine(testing::ValuesIn(MainComparisonSet()),
+                                          testing::ValuesIn(kAllModes)),
+                         ParamName);
+
+// Always-on half of the parallel-regeneration guarantee: recomputing the
+// kRealTrace corpus (both modes) through a 4-thread SweepRunner must
+// byte-match the checked-in baselines, which the parameterized cases above
+// prove equal to serial recomputation. Streaming scenarios are covered by
+// the --update_golden flow, which writes in parallel and verifies serially.
+TEST(GoldenRegenerationTest, ParallelRecomputationMatchesBaselines) {
+  const Experiment exp(GoldenSetup());
+  struct Cell {
+    SystemKind kind;
+    GoldenMode mode;
+    std::string text;
+  };
+  std::vector<std::function<Cell()>> tasks;
+  for (SystemKind kind : MainComparisonSet()) {
+    for (GoldenMode mode : kAllModes) {
+      tasks.push_back([&exp, kind, mode] {
+        const EngineResult result =
+            RunGoldenSystem(exp, kind, {}, GoldenScenario::kRealTrace, mode);
+        return Cell{kind, mode, GoldenMetricsText(kind, result.metrics)};
+      });
+    }
+  }
+  SweepRunner runner(4);
+  for (const Timed<Cell>& cell : runner.Map(tasks)) {
+    const std::string path =
+        GoldenPath(cell.value.kind, GoldenScenario::kRealTrace, cell.value.mode);
+    std::string expected;
+    ASSERT_TRUE(ReadGoldenFile(path, &expected)) << "missing baseline " << path;
+    EXPECT_EQ(expected, cell.value.text)
+        << "parallel recomputation diverged for " << SystemName(cell.value.kind);
+  }
+}
 
 }  // namespace
 }  // namespace adaserve
 
 int main(int argc, char** argv) {
   testing::InitGoogleTest(&argc, argv);
+  bool update_golden = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--update_golden") == 0) {
-      adaserve::g_update_golden = true;
+      update_golden = true;
+    }
+  }
+  if (update_golden) {
+    // Parallel rewrite of the whole corpus, then fall through to the
+    // normal (serial) test pass: every case recomputes its metrics and
+    // byte-compares them against the file just written in parallel.
+    const adaserve::Experiment exp(adaserve::GoldenSetup());
+    if (!adaserve::RegenerateAllGoldens(exp, /*threads=*/0)) {
+      return 1;
     }
   }
   return RUN_ALL_TESTS();

@@ -46,6 +46,12 @@ TEST_P(ServingProperties, InvariantsHoldEndToEnd) {
   ctx.tick.max_active = 256;
   ctx.tick.continuous = continuous;
   ctx.tick.max_evictions = continuous ? 4 : 0;
+  // Mirror the engine's policy resolution: the scheduler's own admission
+  // priority in tick-native mode (SLO-aware for AdaServe), FIFO at the
+  // boundary — so the invariants also cover ranked admission and the
+  // SLO-aware eviction path.
+  ctx.tick.priority =
+      continuous ? scheduler->AdmissionPriority() : PriorityPolicy::kFifo;
 
   SimTime now = 0.0;
   size_t next = 0;

@@ -209,6 +209,64 @@ TEST_F(RequestPoolTest, AdmitWithEvictionSparesRequestsWithCommittedOutput) {
   EXPECT_EQ(pool.Get(1).state, RequestState::kRunning);
 }
 
+Request SloRequest(RequestId id, double tpot_slo, int prompt_len = 20, int output_len = 4) {
+  Request req = MakeRequest(id, prompt_len, output_len);
+  req.tpot_slo = tpot_slo;
+  return req;
+}
+
+// Lower-tpot_slo-first ranker used by the ranked-admission tests (the
+// same shape PriorityRanker(kSloUrgentFirst) produces).
+bool UrgentFirst(const Request& a, const Request& b) { return a.tpot_slo < b.tpot_slo; }
+
+TEST_F(RequestPoolTest, RankedAdmissionPicksBestRankedNotFront) {
+  pool_.AddArrival(SloRequest(0, 0.15));
+  pool_.AddArrival(SloRequest(1, 0.02));
+  pool_.AddArrival(SloRequest(2, 0.05));
+  EXPECT_EQ(pool_.TryAdmit(10, UrgentFirst), 1);
+  EXPECT_EQ(pool_.TryAdmit(10, UrgentFirst), 2);
+  EXPECT_EQ(pool_.TryAdmit(10, UrgentFirst), 0);
+  EXPECT_TRUE(pool_.queued().empty());
+}
+
+TEST_F(RequestPoolTest, RankedAdmissionKeepsHeadOfLineBlockingOnKv) {
+  // The ranked head is blocked on KV: admission must stop, not skip to a
+  // worse-ranked request that would fit — otherwise a stream of small
+  // relaxed requests could starve a large urgent one forever.
+  KvCache tiny(64.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(SloRequest(0, 0.15));  // 32 blocks, admitted below
+  pool.AddArrival(SloRequest(1, 0.02, /*prompt_len=*/40, /*output_len=*/8));  // 48: blocked
+  pool.AddArrival(SloRequest(2, 0.15));  // 32: would fit, must not skip ahead
+  ASSERT_EQ(pool.TryAdmit(10), 0);
+  EXPECT_EQ(pool.AdmitUpTo(10, UrgentFirst), 0);
+  EXPECT_EQ(pool.queued().size(), 2u);
+}
+
+TEST_F(RequestPoolTest, NullRankerIsExactFifo) {
+  pool_.AddArrival(SloRequest(0, 0.15));
+  pool_.AddArrival(SloRequest(1, 0.02));
+  EXPECT_EQ(pool_.TryAdmit(10, nullptr), 0);
+  EXPECT_EQ(pool_.TryAdmit(10, nullptr), 1);
+}
+
+TEST_F(RequestPoolTest, AdmitWithEvictionCustomVictimSelector) {
+  // A selector that refuses everything: the head stays blocked and no
+  // eviction happens even though the default policy would have evicted.
+  KvCache tiny(64.0, 1.0, 16);
+  RequestPool pool(&tiny);
+  pool.AddArrival(MakeRequest(0, 20, 4));
+  pool.AddArrival(MakeRequest(1, 20, 4));
+  pool.AddArrival(MakeRequest(2, 20, 4));
+  EXPECT_EQ(pool.AdmitUpTo(10), 2);
+  int evicted = 0;
+  const auto refuse_all = [](const Request&, const RequestPool&) { return kInvalidRequestId; };
+  EXPECT_EQ(pool.AdmitWithEviction(10, /*max_evictions=*/4, &evicted, nullptr, refuse_all),
+            kInvalidRequestId);
+  EXPECT_EQ(evicted, 0);
+  EXPECT_EQ(pool.queued().front(), 2);  // Head back where it was.
+}
+
 TEST_F(RequestPoolTest, AdmitWithEvictionGivesUpWhenNothingEvictable) {
   KvCache tiny(64.0, 1.0, 16);
   RequestPool pool(&tiny);

@@ -121,6 +121,94 @@ TEST(SweepParallelEquivalence, RunComparisonParallelMatchesSerial) {
   }
 }
 
+// --- per-seed sharding ---
+
+// Shared shapes for the seed-shard tests: a couple of systems (keeping
+// the grid small — sharding multiplies cells), two x points, and the
+// workload keyed on the shard's trace seed.
+std::vector<SystemKind> ShardSystems() {
+  return {SystemKind::kVllm, SystemKind::kAdaServe};
+}
+
+std::vector<Request> ShardWorkload(const Experiment& exp, double rps, uint64_t seed) {
+  return exp.RealTraceWorkload(kDuration, rps, PeakMix(), seed);
+}
+
+// shards=1 ≡ serial: a single-seed sharded sweep must reproduce the
+// unsharded RunSetupSweep cells byte for byte.
+TEST(SeedShardEquivalence, SingleSeedMatchesUnshardedSweep) {
+  const uint64_t seed = 42;
+  const std::vector<double> xs = {2.5, 3.5};
+
+  SweepRunner unsharded_runner(1);
+  const std::vector<SweepCellResult> unsharded =
+      RunSetupSweep(unsharded_runner, GoldenSetup(), ShardSystems(), xs,
+                    [seed](const Experiment& exp, double rps) {
+                      return ShardWorkload(exp, rps, seed);
+                    });
+
+  SweepRunner sharded_runner(1);
+  const std::vector<SeedShardCell> sharded = RunSeedShardedSweep(
+      sharded_runner, GoldenSetup(), ShardSystems(), xs, {seed}, ShardWorkload);
+
+  ASSERT_EQ(sharded.size(), unsharded.size());
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    ASSERT_EQ(sharded[i].system, unsharded[i].system);
+    ASSERT_EQ(sharded[i].x, unsharded[i].x);
+    ASSERT_EQ(sharded[i].per_seed.size(), 1u);
+    EXPECT_EQ(GoldenMetricsText(sharded[i].system, sharded[i].per_seed[0]),
+              GoldenMetricsText(unsharded[i].system, unsharded[i].result.metrics));
+    // A lone shard's aggregate is that shard, exactly.
+    EXPECT_EQ(sharded[i].goodput_tps.mean(), unsharded[i].result.metrics.GoodputTps());
+    EXPECT_EQ(sharded[i].goodput_tps.Stddev(), 0.0);
+  }
+}
+
+// Seed shards are deterministic and aggregation order is pinned to seed
+// order, so any thread count yields identical shards AND identical
+// aggregate floats (mean and the order-sensitive stddev alike).
+TEST(SeedShardEquivalence, Threads4IdenticalToThreads1PerShardAndAggregate) {
+  const std::vector<uint64_t> seeds = {7, 11, 13};
+  const std::vector<double> xs = {3.0};
+
+  SweepRunner serial_runner(1);
+  const std::vector<SeedShardCell> serial = RunSeedShardedSweep(
+      serial_runner, GoldenSetup(), ShardSystems(), xs, seeds, ShardWorkload);
+  SweepRunner parallel_runner(4);
+  const std::vector<SeedShardCell> parallel = RunSeedShardedSweep(
+      parallel_runner, GoldenSetup(), ShardSystems(), xs, seeds, ShardWorkload);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].per_seed.size(), seeds.size());
+    ASSERT_EQ(parallel[i].per_seed.size(), seeds.size());
+    for (size_t s = 0; s < seeds.size(); ++s) {
+      EXPECT_EQ(GoldenMetricsText(serial[i].system, serial[i].per_seed[s]),
+                GoldenMetricsText(parallel[i].system, parallel[i].per_seed[s]))
+          << "shard seed " << seeds[s];
+    }
+    EXPECT_EQ(serial[i].goodput_tps.mean(), parallel[i].goodput_tps.mean());
+    EXPECT_EQ(serial[i].goodput_tps.Stddev(), parallel[i].goodput_tps.Stddev());
+    EXPECT_EQ(serial[i].attainment_pct.mean(), parallel[i].attainment_pct.mean());
+    EXPECT_EQ(serial[i].attainment_pct.Stddev(), parallel[i].attainment_pct.Stddev());
+    EXPECT_EQ(serial[i].throughput_tps.mean(), parallel[i].throughput_tps.mean());
+    EXPECT_EQ(serial[i].throughput_tps.Stddev(), parallel[i].throughput_tps.Stddev());
+  }
+}
+
+// Different trace seeds produce genuinely different realisations — the
+// variance the sharding exists to measure is not silently zero.
+TEST(SeedShardEquivalence, DistinctSeedsProduceVariance) {
+  SweepRunner runner(4);
+  const std::vector<SeedShardCell> cells = RunSeedShardedSweep(
+      runner, GoldenSetup(), {SystemKind::kVllm}, {3.0}, {1, 2, 3, 4}, ShardWorkload);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].per_seed.size(), 4u);
+  EXPECT_EQ(cells[0].goodput_tps.count(), 4u);
+  EXPECT_GT(cells[0].goodput_tps.Stddev(), 0.0);
+  EXPECT_GT(cells[0].wall_clock_s, 0.0);
+}
+
 // A cell that throws fails the sweep in the caller, not a worker thread.
 TEST(SweepParallelEquivalence, CellExceptionReachesTheCaller) {
   SweepRunner runner(4);

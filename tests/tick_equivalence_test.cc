@@ -1,12 +1,14 @@
 // Tick-protocol equivalence proof.
 //
 // Pins the tick-based engine against the reference drain loop (the
-// pre-tick engine, preserved as Experiment::RunLegacyDrainLoop): under the
-// default configuration, boundary-mode ticks must reproduce the legacy
+// pre-tick engine, preserved as Experiment::RunLegacyDrainLoop): under
+// BoundaryTickConfig(), boundary-mode ticks must reproduce the legacy
 // admit-then-step sequence exactly, so end-of-run metrics are
-// byte-identical for every system in MainComparisonSet(). A second suite
-// sanity-checks the tick-native continuous mode, which is allowed to (and
-// does) schedule differently.
+// byte-identical for every system in MainComparisonSet(). Tick-native is
+// the serving default now, so boundary mode is opt-in — this suite is
+// what keeps the opt-out path honest. A second suite sanity-checks the
+// tick-native default, which is allowed to (and does) schedule
+// differently.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -18,8 +20,9 @@ namespace {
 
 class TickEquivalence : public ::testing::TestWithParam<SystemKind> {};
 
-// Default config: tick-mode metrics are byte-identical to the legacy
-// drain loop on the canonical golden workload.
+// Boundary mode (BoundaryTickConfig): tick-mode metrics are
+// byte-identical to the legacy drain loop on the canonical golden
+// workload.
 TEST_P(TickEquivalence, BoundaryTicksMatchLegacyDrainLoopExactly) {
   const SystemKind kind = GetParam();
   Experiment exp(GoldenSetup());
@@ -27,7 +30,7 @@ TEST_P(TickEquivalence, BoundaryTicksMatchLegacyDrainLoopExactly) {
   const std::vector<Request> workload = GoldenWorkload(exp, config);
   ASSERT_FALSE(workload.empty());
 
-  EngineConfig engine;
+  EngineConfig engine = BoundaryTickConfig();
   engine.sampling_seed = config.sampling_seed;
 
   auto legacy_scheduler = MakeScheduler(kind);
@@ -48,8 +51,9 @@ TEST_P(TickEquivalence, BoundaryTicksMatchLegacyDrainLoopExactly) {
   EXPECT_EQ(tick.metrics.admissions, static_cast<long>(workload.size()));
 }
 
-// Tick-native mode: a different (better-TTFT) schedule, but the same
-// work must complete with sane accounting.
+// Tick-native mode — the default EngineConfig{} — runs a different
+// (better-TTFT) schedule, but the same work must complete with sane
+// accounting.
 TEST_P(TickEquivalence, ContinuousModeServesEverything) {
   const SystemKind kind = GetParam();
   Experiment exp(GoldenSetup());
@@ -57,7 +61,14 @@ TEST_P(TickEquivalence, ContinuousModeServesEverything) {
   const std::vector<Request> workload = GoldenWorkload(exp, config);
   ASSERT_FALSE(workload.empty());
 
-  EngineConfig engine = ContinuousTickConfig();
+  // The default config IS the tick-native mode: continuous ticks with a
+  // bounded evict-for-admission budget (literals, so a silent default
+  // regression cannot hide behind ContinuousTickConfig ≡ EngineConfig{}).
+  const EngineConfig defaults;
+  EXPECT_TRUE(defaults.continuous_ticks);
+  EXPECT_EQ(defaults.max_evictions_per_tick, 4);
+  EXPECT_FALSE(defaults.admission_priority.has_value());
+  EngineConfig engine;
   engine.sampling_seed = config.sampling_seed;
 
   auto scheduler = MakeScheduler(kind);
