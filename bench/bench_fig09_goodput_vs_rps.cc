@@ -6,14 +6,45 @@
 namespace adaserve {
 namespace {
 
+// Variance study (--seeds N): reruns the sweep over N trace seeds and
+// emits mean / Bessel-corrected error-bar rows per cell. Extra rows only —
+// the headline series above stays byte-identical, so perf_diff baselines
+// recorded without --seeds still gate.
+void RunSeedErrorBars(const Setup& setup, const std::vector<double>& rps_grid,
+                      const BenchArgs& args, BenchJson& json, SweepRunner& runner) {
+  std::vector<uint64_t> seeds;
+  for (int s = 0; s < args.seeds; ++s) {
+    seeds.push_back(42 + static_cast<uint64_t>(s));
+  }
+  std::cout << "\n" << setup.label << " (" << args.seeds << "-seed error bars)\n";
+  TablePrinter table({"System", "RPS", "Goodput(tok/s)", "+/-", "Attainment(%)", "+/-"});
+  const std::vector<SeedShardCell> cells = RunSeedShardedSweep(
+      runner, setup, MainComparisonSet(), GridFor(args, rps_grid), seeds,
+      [&args](const Experiment& exp, double rps, uint64_t seed) {
+        return exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix(), seed);
+      });
+  for (const SeedShardCell& c : cells) {
+    const std::string system(SystemName(c.system));
+    table.AddRow({system, Fmt(c.x, 1), Fmt(c.goodput_tps.mean(), 1), Fmt(c.GoodputErrTps(), 1),
+                  FmtPct(c.attainment_pct.mean()), Fmt(c.AttainmentErrPct(), 1)});
+    json.Add(setup.label, system, "goodput_mean_tps", c.x, c.goodput_tps.mean());
+    json.Add(setup.label, system, "goodput_err_tps", c.x, c.GoodputErrTps());
+    json.Add(setup.label, system, "attainment_err_pct", c.x, c.AttainmentErrPct());
+  }
+  table.Print(std::cout);
+}
+
 void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const BenchArgs& args,
               BenchJson& json, SweepRunner& runner) {
   std::cout << "\n" << setup.label << "\n";
   TablePrinter table({"System", "RPS", "Goodput(tok/s)", "Throughput(tok/s)"});
-  const std::vector<SweepCellResult> cells = RunSetupSweep(
+  // Lazy trace + per-cell prefetch thread: generation overlaps serving and
+  // the cell never materializes its trace. Metrics match the vector path
+  // byte-for-byte (streaming_equivalence_test).
+  const std::vector<SweepCellResult> cells = RunSetupStreamSweep(
       runner, setup, MainComparisonSet(), GridFor(args, rps_grid),
       [&args](const Experiment& exp, double rps) {
-        return exp.RealTraceWorkload(SweepDurationFor(args), rps, PeakMix());
+        return exp.RealTraceStream(SweepDurationFor(args), rps, PeakMix());
       });
   for (const SweepCellResult& p : cells) {
     const Metrics& m = p.result.metrics;
@@ -25,6 +56,9 @@ void RunModel(const Setup& setup, const std::vector<double>& rps_grid, const Ben
     AddCellWallClock(json, setup.label, p);
   }
   table.Print(std::cout);
+  if (args.seeds > 1) {
+    RunSeedErrorBars(setup, rps_grid, args, json, runner);
+  }
 }
 
 int Run(const BenchArgs& args) {

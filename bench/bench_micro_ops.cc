@@ -88,6 +88,55 @@ void BM_OptimalConstruct(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalConstruct)->Arg(16)->Arg(64);
 
+// The serving loop's single hottest function (~80% of a sweep's CPU before
+// the duplicate-coalescing rewrite): building a SparseDist from weighted
+// token draws. Exercises the duplicate-heavy shape NextDist produces.
+void BM_SparseDistFromWeights(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<Token> tokens;
+  std::vector<double> weights;
+  for (int i = 0; i < n; ++i) {
+    tokens.push_back(static_cast<Token>(rng.UniformInt(n / 2)));  // ~2x duplicates.
+    weights.push_back(rng.Uniform() + 0.01);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SparseDist::FromWeights(std::span<const Token>(tokens), std::span<const double>(weights)));
+  }
+}
+BENCHMARK(BM_SparseDistFromWeights)->Arg(16)->Arg(64);
+
+// Target-model next-token distribution: FromWeights plus the synthetic
+// LM's stick-breaking walk, all on SmallVector scratch (zero heap
+// allocations at steady state).
+void BM_TargetNextDist(benchmark::State& state) {
+  const Experiment& exp = GetExperiment();
+  const std::vector<Token> ctx = MakeContext(8, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp.target().NextDist(7, ctx));
+  }
+}
+BENCHMARK(BM_TargetNextDist);
+
+// Percentile queries at metrics finalization: the cached sorted view makes
+// the k-th query O(1) after the first.
+void BM_SamplesPercentiles(benchmark::State& state) {
+  Rng rng(9);
+  Samples s;
+  for (int i = 0; i < 4096; ++i) {
+    s.Add(rng.Uniform());
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double p : {50.0, 90.0, 95.0, 99.0}) {
+      acc += s.Percentile(p);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SamplesPercentiles);
+
 }  // namespace
 }  // namespace adaserve
 

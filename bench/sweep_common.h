@@ -68,6 +68,10 @@ struct BenchArgs {
   // --threads N (or --threads=N): sweep worker count. 0 (default) resolves
   // to hardware_concurrency; 1 is the exact serial path.
   int threads = 0;
+  // --seeds N (or --seeds=N): benches that support variance studies rerun
+  // their sweep over N trace seeds and emit mean / sample-stddev error-bar
+  // rows (RunSeedShardedSweep). 1 (default) skips the error-bar pass.
+  int seeds = 1;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -84,10 +88,17 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       args.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      args.seeds = std::atoi(argv[++i]);
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      args.seeds = std::atoi(arg.c_str() + 8);
     }
   }
   if (args.threads < 0) {
     args.threads = 0;
+  }
+  if (args.seeds < 1) {
+    args.seeds = 1;
   }
   return args;
 }

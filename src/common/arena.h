@@ -1,0 +1,203 @@
+// Allocation-recycling primitives for the serving hot path.
+//
+// Steady-state serving should not touch the heap. Three tools enforce
+// that, in increasing order of scope:
+//   - SmallVector<T, N>: bounded scratch (distribution supports,
+//     token-tree children, per-phase id lists) lives in inline storage
+//     and only spills to the heap past N elements.
+//   - VectorPool<T>: recycles the capacity of per-request payload
+//     vectors (output tokens, commit timestamps) from retired requests
+//     to newly admitted ones, so a long streaming run reaches a fixed
+//     point where no request ever allocates.
+//   - Arena: a chunked bump allocator for records whose lifetime is one
+//     run (iteration logs, per-cell scratch); freed wholesale on Reset.
+#ifndef ADASERVE_SRC_COMMON_ARENA_H_
+#define ADASERVE_SRC_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace adaserve {
+
+// Fixed-inline-capacity vector for trivially copyable scratch data. The
+// first N elements live inside the object; element N+1 moves the whole
+// contents to a heap vector whose capacity is retained across clear().
+// Iterators/pointers are invalidated by push_back, exactly like
+// std::vector. Deliberately minimal: the hot paths need append, indexed
+// read, and span-style access, nothing else.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is scratch storage for trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVector() = default;
+  SmallVector(SmallVector&& other) noexcept { *this = std::move(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      if (size_ > 0 && size_ <= N) {
+        std::copy(other.inline_, other.inline_ + size_, inline_);
+      }
+      spill_ = std::move(other.spill_);
+      other.size_ = 0;
+      other.spill_.clear();
+    }
+    return *this;
+  }
+  SmallVector(const SmallVector& other) { *this = other; }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      size_ = other.size_;
+      if (size_ > 0 && size_ <= N) {
+        std::copy(other.inline_, other.inline_ + size_, inline_);
+      }
+      spill_ = other.spill_;
+    }
+    return *this;
+  }
+
+  void push_back(const T& v) {
+    if (size_ < N) {
+      inline_[size_++] = v;
+      return;
+    }
+    if (size_ == N) {
+      spill_.assign(inline_, inline_ + N);  // One-time copy at the spill point.
+    }
+    spill_.push_back(v);
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+
+  T* data() { return size_ <= N ? inline_ : spill_.data(); }
+  const T* data() const { return size_ <= N ? inline_ : spill_.data(); }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  // Drops the elements; spill capacity (if any) is kept for reuse.
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+ private:
+  T inline_[N];
+  size_t size_ = 0;
+  std::vector<T> spill_;
+};
+
+// LIFO free list recycling heap vectors with their capacity. Acquire
+// returns an empty vector (reusing the most recently released buffer's
+// capacity when one is pooled); Release parks a no-longer-needed vector.
+// Single-threaded by design — each RequestPool/engine run owns its own
+// pool, mirroring the one-cell-one-task sweep contract.
+template <typename T>
+class VectorPool {
+ public:
+  std::vector<T> Acquire() {
+    if (free_.empty()) {
+      return {};
+    }
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    ++reuses_;
+    return v;
+  }
+
+  void Release(std::vector<T>&& v) {
+    if (v.capacity() == 0) {
+      return;  // Nothing worth recycling.
+    }
+    free_.push_back(std::move(v));
+  }
+
+  // Buffers currently parked.
+  size_t pooled() const { return free_.size(); }
+  // Acquire calls that reused pooled capacity instead of allocating.
+  size_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::vector<T>> free_;
+  size_t reuses_ = 0;
+};
+
+// Chunked bump allocator: allocations are O(1) pointer bumps, and the
+// whole arena is reclaimed at once by Reset (retaining chunk capacity)
+// or destruction. For trivially destructible record types only — nothing
+// is destroyed individually.
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 64 * 1024) : chunk_bytes_(chunk_bytes) {}
+
+  template <typename T>
+  T* Allocate(size_t count = 1) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    const size_t bytes = sizeof(T) * count;
+    // Element-wise placement-new: placement array-new may prepend an
+    // array cookie, which would misalign the returned pointer.
+    T* p = static_cast<T*>(AllocateBytes(bytes, alignof(T)));
+    for (size_t i = 0; i < count; ++i) {
+      new (p + i) T();
+    }
+    return p;
+  }
+
+  // Reclaims every allocation; the first chunk's capacity is retained so
+  // a steady-state reuse cycle stops touching the heap.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      chunks_.resize(1);
+    }
+    used_ = 0;
+    total_used_ = 0;
+  }
+
+  size_t bytes_allocated() const { return total_used_; }
+
+ private:
+  void* AllocateBytes(size_t bytes, size_t align) {
+    used_ = (used_ + align - 1) & ~(align - 1);
+    if (chunks_.empty() || used_ + bytes > chunks_.back().size) {
+      const size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back({std::make_unique<unsigned char[]>(size), size});
+      used_ = 0;
+    }
+    void* p = chunks_.back().data.get() + used_;
+    used_ += bytes;
+    total_used_ += bytes;
+    return p;
+  }
+
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;        // Bump offset within the last chunk.
+  size_t total_used_ = 0;  // Sum of live allocation bytes since Reset.
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_COMMON_ARENA_H_

@@ -1,0 +1,83 @@
+// Bounded blocking queue for single-producer/single-consumer handoff.
+//
+// Backs PrefetchingArrivalStream: the producer thread pushes generated
+// requests, the serving loop pops them, and the bound gives backpressure
+// so prefetch depth — not trace length — caps resident memory. Close()
+// unblocks both sides: a closed queue rejects pushes (producer shutdown
+// on consumer abort) and drains remaining items before Pop reports
+// end-of-stream (consumer sees every request of a finished producer).
+#ifndef ADASERVE_SRC_COMMON_BOUNDED_QUEUE_H_
+#define ADASERVE_SRC_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    ADASERVE_CHECK(capacity_ > 0) << "bounded queue needs positive capacity";
+  }
+
+  // Blocks while the queue is full. Returns false (dropping `v`) if the
+  // queue was closed — the producer's signal to stop generating.
+  bool Push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. Returns nullopt only when
+  // the queue is closed AND drained, so no pushed item is ever lost.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  // Idempotent. Wakes blocked producers (Push fails) and consumers (Pop
+  // drains the backlog, then reports end-of-stream).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_COMMON_BOUNDED_QUEUE_H_

@@ -30,6 +30,15 @@ double RunningStat::Variance() const {
 
 double RunningStat::Stddev() const { return std::sqrt(Variance()); }
 
+double RunningStat::SampleVariance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::SampleStddev() const { return std::sqrt(SampleVariance()); }
+
 double Samples::Mean() const {
   if (values_.empty()) {
     return 0.0;
@@ -57,21 +66,37 @@ double Samples::Percentile(double p) const {
   if (values_.empty()) {
     return 0.0;
   }
-  std::vector<double> sorted = values_;
-  std::sort(sorted.begin(), sorted.end());
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
   const double clamped = std::clamp(p, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
-Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {}
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
 
 void Histogram::Add(double x) {
+  if (std::isnan(x)) {
+    // Casting NaN to an integer is UB; reject the sample instead.
+    ++dropped_;
+    return;
+  }
   const double span = hi_ - lo_;
-  auto bin = static_cast<long>((x - lo_) / span * static_cast<double>(counts_.size()));
+  long bin = 0;
+  if (span > 0.0) {
+    // The quotient can still overflow a long for huge outliers (that cast
+    // is UB too), so clamp in floating point before converting.
+    const double scaled = (x - lo_) / span * static_cast<double>(counts_.size());
+    const double max_bin = static_cast<double>(counts_.size() - 1);
+    bin = static_cast<long>(std::clamp(scaled, 0.0, max_bin));
+  }
   bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
   ++counts_[static_cast<size_t>(bin)];
   ++total_;

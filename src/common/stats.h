@@ -17,9 +17,16 @@ class RunningStat {
   double min() const { return min_; }
   double max() const { return max_; }
 
-  // Population variance; 0 for fewer than two samples.
+  // Population variance (divides by N); 0 for fewer than two samples.
   double Variance() const;
   double Stddev() const;
+
+  // Sample (Bessel-corrected, divides by N-1) variance; 0 for fewer than
+  // two samples. This is the right estimator when the samples are a
+  // handful of seed shards standing in for the seed population — the
+  // cross-seed error bars RunSeedShardedSweep aggregates use it.
+  double SampleVariance() const;
+  double SampleStddev() const;
 
  private:
   size_t count_ = 0;
@@ -33,7 +40,10 @@ class RunningStat {
 // per-request latency summaries where sample counts are modest.
 class Samples {
  public:
-  void Add(double x) { values_.push_back(x); }
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_valid_ = false;
+  }
   void Reserve(size_t n) { values_.reserve(n); }
 
   size_t count() const { return values_.size(); }
@@ -44,16 +54,25 @@ class Samples {
   double Max() const;
 
   // Linear-interpolated percentile, p in [0, 100]. Returns 0 when empty.
+  // The sorted view is computed once and cached (invalidated by Add), so
+  // querying several quantiles at metrics finalization sorts once instead
+  // of O(n log n) per call.
   double Percentile(double p) const;
 
   const std::vector<double>& values() const { return values_; }
 
  private:
   std::vector<double> values_;
+  // Lazily sorted copy backing Percentile; valid iff sorted_valid_.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 // Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
-// first/last bin. Used by trace visualisation benches.
+// first/last bin. Used by trace visualisation benches. Degenerate shapes
+// are guarded rather than UB: bins == 0 is clamped to one bin, a
+// zero-width range puts every sample in the first bin, and NaN samples
+// are dropped (counted by dropped(), not total()).
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
@@ -64,12 +83,15 @@ class Histogram {
   size_t count(size_t bin) const { return counts_[bin]; }
   double BinCenter(size_t bin) const;
   size_t total() const { return total_; }
+  // NaN samples rejected by Add.
+  size_t dropped() const { return dropped_; }
 
  private:
   double lo_;
   double hi_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+  size_t dropped_ = 0;
 };
 
 }  // namespace adaserve

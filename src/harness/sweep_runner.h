@@ -27,6 +27,7 @@
 #include "src/common/thread_pool.h"
 #include "src/harness/comparisons.h"
 #include "src/harness/experiment.h"
+#include "src/workload/prefetch_stream.h"
 
 namespace adaserve {
 
@@ -126,6 +127,25 @@ std::vector<SweepCellResult> RunSetupSweep(SweepRunner& runner, const Setup& set
                                            const SweepWorkloadFn& make_workload,
                                            const EngineConfig& engine = {});
 
+// Arrival stream of one sweep point, built on the cell's own Experiment.
+// Called concurrently; must only read `exp` and its captures. Streams are
+// single-pass, so the factory must build a fresh stream per call.
+using SweepStreamFn =
+    std::function<std::unique_ptr<ArrivalStream>(const Experiment& exp, double x)>;
+
+// Stream-based bench cell: RunSetupSweep without the materialized trace.
+// The cell's workload is generated lazily and — when prefetch_depth > 0 —
+// on a per-cell producer thread overlapped with serving
+// (PrefetchingArrivalStream), so generation cost leaves the serving
+// loop's critical path. Metrics are byte-identical to the vector path
+// (streaming_equivalence_test) and independent of prefetch_depth
+// (prefetch_stream_test); depth 0 consumes the stream inline with no
+// producer thread.
+std::vector<SweepCellResult> RunSetupStreamSweep(
+    SweepRunner& runner, const Setup& setup, const std::vector<SystemKind>& systems,
+    const std::vector<double>& xs, const SweepStreamFn& make_stream,
+    const EngineConfig& engine = {}, size_t prefetch_depth = kDefaultPrefetchDepth);
+
 // --- per-seed sharding (variance studies) ---
 
 // One (system × x) cell fanned over N trace seeds. Per-shard metrics stay
@@ -144,6 +164,13 @@ struct SeedShardCell {
   RunningStat throughput_tps;
   // Sum of the shard tasks' own compute seconds.
   double wall_clock_s = 0.0;
+
+  // Cross-seed error bars: Bessel-corrected sample stddev of the headline
+  // metrics. Seeds are a small sample of the trace-randomness population,
+  // so the population Stddev() would understate the spread.
+  double GoodputErrTps() const { return goodput_tps.SampleStddev(); }
+  double AttainmentErrPct() const { return attainment_pct.SampleStddev(); }
+  double ThroughputErrTps() const { return throughput_tps.SampleStddev(); }
 };
 
 // Workload of one (x, seed) shard, built on the shard's own Experiment.

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
+#include "src/common/arena.h"
 #include "src/common/logging.h"
 
 namespace adaserve {
 namespace {
 
 constexpr double kMinMass = 1e-12;
+
+// Inline capacity covering every configured support size (default 24,
+// draft mixes see the union of two supports). Larger supports spill to
+// the heap transparently.
+constexpr size_t kInlineSupport = 64;
 
 void SortEntries(std::vector<SparseDist::Entry>& entries) {
   std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
@@ -24,22 +29,39 @@ void SortEntries(std::vector<SparseDist::Entry>& entries) {
 
 SparseDist SparseDist::FromWeights(std::span<const Token> tokens, std::span<const double> weights) {
   ADASERVE_CHECK(tokens.size() == weights.size()) << "token/weight size mismatch";
-  std::map<Token, double> merged;
+  // Coalesce duplicates by linear probing into the output buffer itself:
+  // supports are tens of tokens, so a scan beats the former std::map (and
+  // its node allocation per entry) by a wide margin. Per-token weight sums
+  // and the total accumulate in input order, exactly as the map-based
+  // version did, so every double — and therefore the final sorted entry
+  // array — is bit-identical to the historical output.
+  SparseDist dist;
+  std::vector<Entry>& entries = dist.entries_;
+  entries.reserve(tokens.size());
   double total = 0.0;
   for (size_t i = 0; i < tokens.size(); ++i) {
     ADASERVE_CHECK(weights[i] >= 0.0) << "negative weight for token " << tokens[i];
-    if (weights[i] > 0.0) {
-      merged[tokens[i]] += weights[i];
-      total += weights[i];
+    if (weights[i] <= 0.0) {
+      continue;
+    }
+    total += weights[i];
+    bool merged = false;
+    for (Entry& e : entries) {
+      if (e.token == tokens[i]) {
+        e.prob += weights[i];
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      entries.push_back({tokens[i], weights[i]});
     }
   }
   ADASERVE_CHECK(total > 0.0) << "distribution has no mass";
-  SparseDist dist;
-  dist.entries_.reserve(merged.size());
-  for (const auto& [token, weight] : merged) {
-    dist.entries_.push_back({token, weight / total});
+  for (Entry& e : entries) {
+    e.prob /= total;
   }
-  SortEntries(dist.entries_);
+  SortEntries(entries);
   return dist;
 }
 
@@ -87,10 +109,8 @@ double SparseDist::Entropy() const {
 }
 
 SparseDist SparseDist::Residual(const SparseDist& q) const {
-  std::vector<Token> tokens;
-  std::vector<double> weights;
-  tokens.reserve(entries_.size());
-  weights.reserve(entries_.size());
+  SmallVector<Token, kInlineSupport> tokens;
+  SmallVector<double, kInlineSupport> weights;
   double total = 0.0;
   for (const Entry& e : entries_) {
     const double w = std::max(e.prob - q.ProbOf(e.token), 0.0);
@@ -101,20 +121,18 @@ SparseDist SparseDist::Residual(const SparseDist& q) const {
   if (total <= kMinMass) {
     return *this;
   }
-  return FromWeights(tokens, weights);
+  return FromWeights({tokens.data(), tokens.size()}, {weights.data(), weights.size()});
 }
 
 SparseDist SparseDist::WithTemperature(double t) const {
   ADASERVE_CHECK(t > 0.0) << "temperature must be positive";
-  std::vector<Token> tokens;
-  std::vector<double> weights;
-  tokens.reserve(entries_.size());
-  weights.reserve(entries_.size());
+  SmallVector<Token, kInlineSupport> tokens;
+  SmallVector<double, kInlineSupport> weights;
   for (const Entry& e : entries_) {
     tokens.push_back(e.token);
     weights.push_back(std::pow(e.prob, 1.0 / t));
   }
-  return FromWeights(tokens, weights);
+  return FromWeights({tokens.data(), tokens.size()}, {weights.data(), weights.size()});
 }
 
 double SparseDist::TotalMass() const {
@@ -127,10 +145,8 @@ double SparseDist::TotalMass() const {
 
 SparseDist Mix(const SparseDist& a, const SparseDist& b, double weight) {
   ADASERVE_CHECK(weight >= 0.0 && weight <= 1.0) << "mix weight out of range: " << weight;
-  std::vector<Token> tokens;
-  std::vector<double> weights;
-  tokens.reserve(a.size() + b.size());
-  weights.reserve(a.size() + b.size());
+  SmallVector<Token, kInlineSupport> tokens;
+  SmallVector<double, kInlineSupport> weights;
   for (const auto& e : a.entries()) {
     tokens.push_back(e.token);
     weights.push_back(weight * e.prob);
@@ -139,7 +155,7 @@ SparseDist Mix(const SparseDist& a, const SparseDist& b, double weight) {
     tokens.push_back(e.token);
     weights.push_back((1.0 - weight) * e.prob);
   }
-  return SparseDist::FromWeights(tokens, weights);
+  return SparseDist::FromWeights({tokens.data(), tokens.size()}, {weights.data(), weights.size()});
 }
 
 }  // namespace adaserve

@@ -1,8 +1,8 @@
 #include "src/model/synthetic_lm.h"
 
 #include <cmath>
-#include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/logging.h"
 
 namespace adaserve {
@@ -24,10 +24,10 @@ SparseDist SyntheticLm::NextDist(uint64_t stream, std::span<const Token> context
   uint64_t h = HashCombine(Mix64(config_.seed), stream);
   h = HashCombine(h, HashTokens(config_.seed, context.subspan(start)));
 
-  std::vector<Token> tokens;
-  std::vector<double> weights;
-  tokens.reserve(static_cast<size_t>(config_.support));
-  weights.reserve(static_cast<size_t>(config_.support));
+  // Inline scratch: the support is a few dozen tokens, so building the
+  // weight list must not hit the heap on this per-token hot path.
+  SmallVector<Token, 64> tokens;
+  SmallVector<double, 64> weights;
   uint64_t pick_state = h;
   for (int i = 0; i < config_.support; ++i) {
     // Derive the i-th support token and its jitter from the hash stream.
@@ -40,7 +40,8 @@ SparseDist SyntheticLm::NextDist(uint64_t stream, std::span<const Token> context
     tokens.push_back(token);
     weights.push_back(zipf * jitter);
   }
-  return SparseDist::FromWeights(tokens, weights);
+  return SparseDist::FromWeights({tokens.data(), tokens.size()},
+                                 {weights.data(), weights.size()});
 }
 
 }  // namespace adaserve

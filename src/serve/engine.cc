@@ -86,6 +86,15 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
   while (!stream.Exhausted() || pool.HasWork()) {
     ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
     pull_arrivals(now);
+    if (config_.event_driven && !pool.HasWork()) {
+      // Next-event skip: with nothing queued and nothing active a tick
+      // cannot change state, so the earliest event is the next arrival —
+      // jump the clock there in one step. The loop condition plus the
+      // empty pool guarantee the stream still has requests, and the pull
+      // loop above guarantees that arrival is strictly in the future.
+      now = stream.Peek()->arrival;
+      continue;
+    }
     const TickResult tick = scheduler.Tick(now, pool, ctx);
     result.peak_resident_requests = std::max(result.peak_resident_requests, pool.resident_count());
     if (!tick.MadeProgress()) {

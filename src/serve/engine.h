@@ -64,6 +64,14 @@ struct EngineConfig {
   // Tick-native mode: recompute-style evictions allowed per tick when the
   // admission-queue head is blocked on KV (0 disables eviction).
   int max_evictions_per_tick = 4;
+  // Next-event scheduling: when the pool is provably inert — nothing
+  // queued, nothing active — advance the clock straight to the next
+  // arrival instead of running a tick that cannot change state. The
+  // skipped tick was a no-op by construction, so results (including
+  // total_iterations: an idle gap costs one loop iteration either way)
+  // are byte-identical to the per-tick loop; engine_test pins that. Set
+  // false to run the historical probe-every-gap loop.
+  bool event_driven = true;
   // Tick-native admission-priority override. Unset defers to the
   // scheduler's AdmissionPriority() default (e.g. AdaServe admits
   // urgent-first, vLLM stays FIFO); set forces the policy for any

@@ -12,7 +12,16 @@ void RequestPool::AddArrival(const Request& request) {
   ADASERVE_CHECK(request.id == base_id_ + static_cast<RequestId>(requests_.size()))
       << "requests must arrive with dense sequential ids; got " << request.id;
   requests_.push_back(request);
-  requests_.back().state = RequestState::kQueued;
+  Request& stored = requests_.back();
+  stored.state = RequestState::kQueued;
+  // Arrivals come with empty payload vectors; hand them capacity recycled
+  // from finished requests so steady-state token commits never allocate.
+  if (stored.output.capacity() == 0) {
+    stored.output = token_pool_.Acquire();
+  }
+  if (stored.token_times.capacity() == 0) {
+    stored.token_times = time_pool_.Acquire();
+  }
   queued_.push_back(request.id);
 }
 
@@ -209,6 +218,10 @@ void RequestPool::Finish(RequestId id, SimTime now) {
   ADASERVE_CHECK(it != active_.end()) << "finished request not active " << id;
   active_.erase(it);
   if (release_payload_on_finish_) {
+    // Park the payload buffers for reuse by future arrivals, then clear
+    // the (moved-from) vectors so the request keeps only scalars.
+    token_pool_.Release(std::move(req.output));
+    time_pool_.Release(std::move(req.token_times));
     req.ReleasePayload();
   }
 }

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/serve/kv_cache.h"
 #include "src/workload/request.h"
 
@@ -119,8 +120,16 @@ class RequestPool {
   size_t retired_count() const { return static_cast<size_t>(base_id_); }
 
   // When enabled, a finished request's token payload (output, token_times)
-  // is freed immediately at finish; only metrics-relevant scalars remain.
+  // is released immediately at finish; only metrics-relevant scalars
+  // remain. The payload buffers are not freed but parked in a VectorPool
+  // and handed to later arrivals, so steady-state streaming serving
+  // commits tokens into recycled capacity with zero heap allocation.
   void set_release_payload_on_finish(bool on) { release_payload_on_finish_ = on; }
+
+  // Arrivals whose payload vectors reused capacity recycled from a
+  // finished request (diagnostics; proves the zero-allocation fixed
+  // point in tests and benches).
+  size_t payload_reuses() const { return token_pool_.reuses(); }
 
   // Pops the finished prefix of the id window, invoking `sink` on each
   // popped request in id order. Call between scheduler iterations (never
@@ -148,6 +157,10 @@ class RequestPool {
   std::vector<RequestId> active_;
   size_t finished_count_ = 0;
   bool release_payload_on_finish_ = false;
+  // Recycled payload capacity: finished requests' token/timestamp buffers
+  // are parked here and reused by later arrivals.
+  VectorPool<Token> token_pool_;
+  VectorPool<SimTime> time_pool_;
 };
 
 }  // namespace adaserve

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/types.h"
 
 namespace adaserve {
@@ -28,7 +29,9 @@ class TokenTree {
     // Approximated path probability f(v): product of conditionals. 1.0 for root.
     double path_prob = 1.0;
     int depth = 0;
-    std::vector<NodeId> children;
+    // Inline up to the typical beam width: building a tree allocates no
+    // per-node child lists unless a node fans out unusually wide.
+    SmallVector<NodeId, 4> children;
   };
 
   // Creates a tree containing only the root. `root_token` is the last

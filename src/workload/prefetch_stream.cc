@@ -1,0 +1,62 @@
+#include "src/workload/prefetch_stream.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+
+PrefetchingArrivalStream::PrefetchingArrivalStream(std::unique_ptr<ArrivalStream> inner,
+                                                   size_t depth)
+    : inner_(std::move(inner)), queue_(depth) {
+  ADASERVE_CHECK(inner_ != nullptr) << "prefetch needs an inner stream";
+  producer_ = std::thread([this] {
+    while (!inner_->Exhausted()) {
+      if (!queue_.Push(inner_->Next())) {
+        return;  // Consumer closed the queue mid-stream (early teardown).
+      }
+    }
+    queue_.Close();
+  });
+}
+
+PrefetchingArrivalStream::~PrefetchingArrivalStream() {
+  queue_.Close();  // Unblocks a producer stuck on a full queue.
+  if (producer_.joinable()) {
+    producer_.join();
+  }
+}
+
+void PrefetchingArrivalStream::FillSlot() {
+  if (slot_.has_value()) {
+    return;
+  }
+  slot_ = queue_.Pop();
+  if (slot_.has_value()) {
+    ADASERVE_CHECK(slot_->arrival >= last_arrival_)
+        << "prefetched arrivals must be nondecreasing; got " << slot_->arrival << " after "
+        << last_arrival_;
+    last_arrival_ = slot_->arrival;
+  }
+}
+
+bool PrefetchingArrivalStream::Exhausted() {
+  FillSlot();
+  return !slot_.has_value();
+}
+
+const Request* PrefetchingArrivalStream::Peek() {
+  FillSlot();
+  return slot_.has_value() ? &*slot_ : nullptr;
+}
+
+Request PrefetchingArrivalStream::Next() {
+  FillSlot();
+  ADASERVE_CHECK(slot_.has_value()) << "Next() on exhausted prefetch stream";
+  Request req = std::move(*slot_);
+  slot_.reset();
+  ++emitted_;
+  return req;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,64 @@
+// Prefetching arrival-stream adapter: overlaps workload generation with
+// serving.
+//
+// Wraps any ArrivalStream and runs it on a dedicated producer thread,
+// handing requests to the consumer through a bounded queue. The serving
+// loop then pays queue-pop cost instead of generation cost (distribution
+// sampling, trace parsing), and the bound keeps resident memory at
+// O(prefetch depth) rather than O(trace).
+//
+// The adapter preserves the full ArrivalStream contract observable by
+// the engine: requests come out in the inner stream's order (checked
+// nondecreasing), Peek returns a pointer valid until the next Next, and
+// emitted() counts consumer-side pops. streaming_equivalence_test and
+// the prefetch tests pin that a wrapped stream is byte-identical to the
+// bare one. After construction the inner stream is touched only by the
+// producer thread; the destructor closes the queue and joins.
+#ifndef ADASERVE_SRC_WORKLOAD_PREFETCH_STREAM_H_
+#define ADASERVE_SRC_WORKLOAD_PREFETCH_STREAM_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "src/common/bounded_queue.h"
+#include "src/workload/arrival_stream.h"
+
+namespace adaserve {
+
+inline constexpr size_t kDefaultPrefetchDepth = 64;
+
+class PrefetchingArrivalStream final : public ArrivalStream {
+ public:
+  // Takes ownership of `inner` and immediately starts prefetching up to
+  // `depth` requests ahead of the consumer.
+  explicit PrefetchingArrivalStream(std::unique_ptr<ArrivalStream> inner,
+                                    size_t depth = kDefaultPrefetchDepth);
+  ~PrefetchingArrivalStream() override;
+
+  PrefetchingArrivalStream(const PrefetchingArrivalStream&) = delete;
+  PrefetchingArrivalStream& operator=(const PrefetchingArrivalStream&) = delete;
+
+  bool Exhausted() override;
+  const Request* Peek() override;
+  Request Next() override;
+  size_t emitted() const override { return emitted_; }
+
+ private:
+  // Ensures slot_ holds the next request if one exists; blocks on the
+  // producer when the queue is momentarily empty.
+  void FillSlot();
+
+  std::unique_ptr<ArrivalStream> inner_;  // Producer-thread-owned after start.
+  BoundedQueue<Request> queue_;
+  // Consumer-side staging: the request Peek exposes and Next consumes.
+  std::optional<Request> slot_;
+  size_t emitted_ = 0;
+  SimTime last_arrival_ = 0.0;  // Guards the nondecreasing invariant.
+  std::thread producer_;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_WORKLOAD_PREFETCH_STREAM_H_

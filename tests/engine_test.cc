@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/harness/golden.h"
 #include "tests/test_util.h"
 
 namespace adaserve {
@@ -245,6 +246,54 @@ TEST_F(EngineTest, ContinuousStreamingRunRetiresAndMatchesVectorPath) {
   EXPECT_EQ(streamed.metrics.GoodputTps(), vector_fed.metrics.GoodputTps());
   EXPECT_EQ(streamed.end_time, vector_fed.end_time);
   EXPECT_TRUE(streamed.requests.empty());
+}
+
+TEST_F(EngineTest, NextEventSkipMatchesPerTickLoopByteForByte) {
+  // Sparse arrivals (one request every ~2.5 s) maximize idle gaps, the
+  // next-event skip's whole domain. Everything observable must match the
+  // probe-every-gap loop exactly, including the iteration count: an idle
+  // gap costs one loop iteration either way.
+  const std::vector<Request> workload = UniformWorkload(exp_, 12, 1, 30.0);
+  EngineConfig per_tick;
+  per_tick.event_driven = false;
+  const EngineConfig event_driven;  // Default: event_driven = true.
+
+  AdaServeScheduler s1;
+  AdaServeScheduler s2;
+  const EngineResult a = exp_.Run(s1, workload, per_tick);
+  const EngineResult b = exp_.Run(s2, workload, event_driven);
+
+  EXPECT_EQ(GoldenMetricsText(SystemKind::kAdaServe, a.metrics),
+            GoldenMetricsText(SystemKind::kAdaServe, b.metrics));
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.total_iterations, b.total_iterations);
+  EXPECT_EQ(a.peak_resident_requests, b.peak_resident_requests);
+  EXPECT_EQ(a.iterations.size(), b.iterations.size());
+}
+
+TEST_F(EngineTest, SkipTargetArrivalIsServedImmediately) {
+  // Two bursts separated by a long gap: the skip lands the clock exactly
+  // on the second burst's first arrival, which must be pulled and served
+  // on that very iteration (no off-by-one past the skip target).
+  std::vector<Request> workload = UniformWorkload(exp_, 2, 1, 0.5);
+  Request late;
+  late.id = 2;
+  late.category = 1;
+  late.tpot_slo = workload[0].tpot_slo;
+  late.arrival = 60.0;
+  late.prompt_len = 32;
+  late.target_output_len = 8;
+  late.stream_seed = HashCombine(0xfeed, 2);
+  workload.push_back(late);
+
+  VllmScheduler scheduler;
+  const EngineResult result = exp_.Run(scheduler, workload);
+  EXPECT_EQ(result.metrics.finished, 3);
+  // The late request is served at its arrival, not a tick-quantized later
+  // time: its first token lands within one decode iteration of 60 s.
+  ASSERT_EQ(result.requests.size(), 3u);
+  EXPECT_GE(result.requests[2].first_token_time, 60.0);
+  EXPECT_LT(result.requests[2].first_token_time, 61.0);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+#include "src/workload/prefetch_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/harness/golden.h"
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+std::unique_ptr<ArrivalStream> Wrap(std::vector<Request> reqs, size_t depth) {
+  return std::make_unique<PrefetchingArrivalStream>(
+      std::make_unique<MaterializedStream>(std::move(reqs)), depth);
+}
+
+// Inner stream that records how far ahead the producer has generated, so
+// the backpressure test can bound prefetch depth from the outside.
+class CountingStream final : public ArrivalStream {
+ public:
+  CountingStream(std::vector<Request> reqs, std::atomic<size_t>* generated)
+      : inner_(std::move(reqs)), generated_(generated) {}
+  bool Exhausted() override { return inner_.Exhausted(); }
+  const Request* Peek() override { return inner_.Peek(); }
+  Request Next() override {
+    generated_->fetch_add(1, std::memory_order_relaxed);
+    return inner_.Next();
+  }
+  size_t emitted() const override { return inner_.emitted(); }
+
+ private:
+  MaterializedStream inner_;
+  std::atomic<size_t>* generated_;
+};
+
+class PrefetchStreamTest : public ::testing::Test {
+ protected:
+  PrefetchStreamTest() : exp_(TestSetup()) {}
+  Experiment exp_;
+};
+
+TEST_F(PrefetchStreamTest, DrainMatchesInnerStream) {
+  const std::vector<Request> reqs = SmallMixedWorkload(exp_);
+  auto stream = Wrap(reqs, 4);
+  std::vector<Request> drained = Materialize(*stream);
+  ASSERT_EQ(drained.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(drained[i].id, reqs[i].id);
+    EXPECT_EQ(drained[i].arrival, reqs[i].arrival);
+    EXPECT_EQ(drained[i].prompt_len, reqs[i].prompt_len);
+    EXPECT_EQ(drained[i].target_output_len, reqs[i].target_output_len);
+    EXPECT_EQ(drained[i].stream_seed, reqs[i].stream_seed);
+  }
+  EXPECT_EQ(stream->emitted(), reqs.size());
+  EXPECT_TRUE(stream->Exhausted());
+}
+
+TEST_F(PrefetchStreamTest, PeekIsStableUntilNext) {
+  const std::vector<Request> reqs = SmallMixedWorkload(exp_);
+  auto stream = Wrap(reqs, 4);
+  const Request* first = stream->Peek();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(stream->Peek(), first);  // Same slot, not a new pop.
+  EXPECT_EQ(first->id, reqs[0].id);
+  const Request consumed = stream->Next();
+  EXPECT_EQ(consumed.id, reqs[0].id);
+  const Request* second = stream->Peek();
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->id, reqs[1].id);
+}
+
+TEST_F(PrefetchStreamTest, EmptyInnerStreamIsImmediatelyExhausted) {
+  auto stream = Wrap({}, 4);
+  EXPECT_TRUE(stream->Exhausted());
+  EXPECT_EQ(stream->Peek(), nullptr);
+  EXPECT_EQ(stream->emitted(), 0u);
+}
+
+TEST_F(PrefetchStreamTest, StreamExhaustingMidPrefetchDrainsFully) {
+  // Fewer requests than the prefetch depth: the producer exhausts and
+  // closes the queue before the consumer pops anything.
+  std::vector<Request> reqs = UniformWorkload(exp_, 3, 0, 1.0);
+  auto stream = Wrap(reqs, 64);
+  std::vector<Request> drained = Materialize(*stream);
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_TRUE(stream->Exhausted());
+}
+
+TEST_F(PrefetchStreamTest, BoundedQueueBackpressuresTheProducer) {
+  constexpr size_t kDepth = 2;
+  std::atomic<size_t> generated{0};
+  std::vector<Request> reqs = UniformWorkload(exp_, 64, 0, 1.0);
+  PrefetchingArrivalStream stream(std::make_unique<CountingStream>(reqs, &generated), kDepth);
+  for (size_t consumed = 0; consumed < reqs.size(); ++consumed) {
+    ASSERT_FALSE(stream.Exhausted());
+    stream.Next();
+    // The producer can be at most: consumed + queue depth + one request in
+    // the consumer slot + one in the producer's hand ahead of us.
+    EXPECT_LE(generated.load(std::memory_order_relaxed), consumed + 1 + kDepth + 2);
+  }
+  EXPECT_TRUE(stream.Exhausted());
+  EXPECT_EQ(generated.load(), reqs.size());
+}
+
+TEST_F(PrefetchStreamTest, EarlyDestructionUnblocksTheProducer) {
+  std::vector<Request> reqs = UniformWorkload(exp_, 256, 0, 1.0);
+  auto stream = Wrap(reqs, 1);  // Depth 1: the producer blocks immediately.
+  ASSERT_NE(stream->Peek(), nullptr);
+  stream->Next();
+  stream.reset();  // Must close the queue and join without hanging.
+}
+
+TEST_F(PrefetchStreamTest, EngineRunIsByteIdenticalToBareStream) {
+  const std::vector<Request> reqs = SmallMixedWorkload(exp_);
+
+  AdaServeScheduler bare_sched;
+  MaterializedStream bare(reqs);
+  const EngineResult bare_result = exp_.Run(bare_sched, bare);
+
+  AdaServeScheduler wrapped_sched;
+  auto wrapped = Wrap(reqs, 3);  // Small depth to force mid-run handoffs.
+  const EngineResult wrapped_result = exp_.Run(wrapped_sched, *wrapped);
+
+  EXPECT_EQ(GoldenMetricsText(SystemKind::kAdaServe, bare_result.metrics),
+            GoldenMetricsText(SystemKind::kAdaServe, wrapped_result.metrics));
+  EXPECT_EQ(bare_result.end_time, wrapped_result.end_time);
+  EXPECT_EQ(bare_result.total_iterations, wrapped_result.total_iterations);
+}
+
+}  // namespace
+}  // namespace adaserve

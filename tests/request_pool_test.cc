@@ -284,6 +284,40 @@ TEST_F(RequestPoolTest, AdmitWithEvictionGivesUpWhenNothingEvictable) {
   EXPECT_EQ(pool.queued().front(), 2);  // head back where it was
 }
 
+TEST_F(RequestPoolTest, RetiringPoolRecyclesPayloadBuffers) {
+  pool_.set_release_payload_on_finish(true);
+  // First request: finish it so its payload capacity is parked.
+  pool_.AddArrival(MakeRequest(0, 20, 2));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 20);
+  pool_.CommitToken(0, 5, 0.1);
+  pool_.CommitToken(0, 6, 0.2);  // Finishes (output_len 2) and releases.
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kFinished);
+  EXPECT_EQ(pool_.Get(0).output.capacity(), 0u);  // Payload moved out.
+  EXPECT_EQ(pool_.payload_reuses(), 0u);
+
+  // Second request: its commits must reuse the recycled capacity.
+  pool_.AddArrival(MakeRequest(1, 20, 2));
+  EXPECT_EQ(pool_.payload_reuses(), 1u);
+  EXPECT_GT(pool_.Get(1).output.capacity(), 0u);
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(1, 20);
+  pool_.CommitToken(1, 7, 0.3);
+  pool_.CommitToken(1, 8, 0.4);
+  EXPECT_EQ(pool_.Get(1).state, RequestState::kFinished);
+}
+
+TEST_F(RequestPoolTest, NonRetiringPoolKeepsPayloads) {
+  pool_.AddArrival(MakeRequest(0, 20, 1));
+  pool_.AdmitUpTo(10);
+  pool_.AdvancePrefill(0, 20);
+  pool_.CommitToken(0, 5, 0.1);
+  EXPECT_EQ(pool_.Get(0).state, RequestState::kFinished);
+  ASSERT_EQ(pool_.Get(0).output.size(), 1u);  // Payload retained.
+  EXPECT_EQ(pool_.Get(0).output[0], 5);
+  EXPECT_EQ(pool_.payload_reuses(), 0u);
+}
+
 TEST_F(RequestPoolTest, MeanAcceptedBookkeeping) {
   Request req = MakeRequest(0);
   pool_.AddArrival(req);

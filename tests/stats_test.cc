@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace adaserve {
 namespace {
@@ -116,6 +117,91 @@ TEST(Histogram, BinCenters) {
   Histogram h(0.0, 10.0, 10);
   EXPECT_NEAR(h.BinCenter(0), 0.5, 1e-12);
   EXPECT_NEAR(h.BinCenter(9), 9.5, 1e-12);
+}
+
+TEST(RunningStat, SampleVarianceIsBesselCorrected) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  s.Add(4.0);
+  // Population: sum of squared deviations 5.0 over N=4; sample over N-1=3.
+  EXPECT_NEAR(s.Variance(), 5.0 / 4.0, 1e-12);
+  EXPECT_NEAR(s.SampleVariance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.SampleStddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_GT(s.SampleStddev(), s.Stddev());  // Bessel widens the error bar.
+}
+
+TEST(RunningStat, SampleVarianceDegenerateCounts) {
+  RunningStat s;
+  EXPECT_EQ(s.SampleVariance(), 0.0);
+  s.Add(7.0);
+  EXPECT_EQ(s.SampleVariance(), 0.0);  // N-1 == 0 must not divide by zero.
+  EXPECT_EQ(s.SampleStddev(), 0.0);
+}
+
+TEST(Samples, PercentileCacheInvalidatedByAdd) {
+  Samples s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_NEAR(s.Percentile(100), 20.0, 1e-12);  // Populates the cache.
+  s.Add(5.0);                                   // Must invalidate it.
+  EXPECT_NEAR(s.Percentile(0), 5.0, 1e-12);
+  EXPECT_NEAR(s.Percentile(50), 10.0, 1e-12);
+  s.Add(40.0);
+  EXPECT_NEAR(s.Percentile(100), 40.0, 1e-12);
+}
+
+TEST(Samples, RepeatedPercentileQueriesAgreeWithFreshObject) {
+  Samples cached;
+  Samples fresh;
+  for (int i = 100; i > 0; --i) {
+    cached.Add(i);
+  }
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    cached.Percentile(p);  // Warm the cache in arbitrary query order.
+  }
+  for (int i = 100; i > 0; --i) {
+    fresh.Add(i);
+  }
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_EQ(cached.Percentile(p), fresh.Percentile(p));
+  }
+}
+
+TEST(Histogram, ZeroWidthRangeDoesNotDivideByZero) {
+  Histogram h(5.0, 5.0, 10);  // lo == hi: span is zero.
+  h.Add(5.0);
+  h.Add(4.0);
+  h.Add(6.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 3u);  // Everything lands in the first bin.
+}
+
+TEST(Histogram, ZeroBinsClampedToOne) {
+  Histogram h(0.0, 1.0, 0);
+  EXPECT_EQ(h.bins(), 1u);
+  h.Add(0.5);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, NanSamplesDroppedNotCounted) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.dropped(), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+}
+
+TEST(Histogram, InfinityClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.dropped(), 0u);
 }
 
 class PercentileSweep : public ::testing::TestWithParam<int> {};

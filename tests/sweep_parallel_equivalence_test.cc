@@ -193,6 +193,11 @@ TEST(SeedShardEquivalence, Threads4IdenticalToThreads1PerShardAndAggregate) {
     EXPECT_EQ(serial[i].attainment_pct.Stddev(), parallel[i].attainment_pct.Stddev());
     EXPECT_EQ(serial[i].throughput_tps.mean(), parallel[i].throughput_tps.mean());
     EXPECT_EQ(serial[i].throughput_tps.Stddev(), parallel[i].throughput_tps.Stddev());
+    // The Bessel-corrected error bars the benches report are equally
+    // order-pinned.
+    EXPECT_EQ(serial[i].GoodputErrTps(), parallel[i].GoodputErrTps());
+    EXPECT_EQ(serial[i].AttainmentErrPct(), parallel[i].AttainmentErrPct());
+    EXPECT_EQ(serial[i].ThroughputErrTps(), parallel[i].ThroughputErrTps());
   }
 }
 
@@ -206,6 +211,9 @@ TEST(SeedShardEquivalence, DistinctSeedsProduceVariance) {
   EXPECT_EQ(cells[0].per_seed.size(), 4u);
   EXPECT_EQ(cells[0].goodput_tps.count(), 4u);
   EXPECT_GT(cells[0].goodput_tps.Stddev(), 0.0);
+  // Error bars use the sample stddev, which is strictly wider than the
+  // population stddev for a finite seed sample.
+  EXPECT_GT(cells[0].GoodputErrTps(), cells[0].goodput_tps.Stddev());
   EXPECT_GT(cells[0].wall_clock_s, 0.0);
 }
 
