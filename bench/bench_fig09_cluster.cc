@@ -1,0 +1,86 @@
+// Figure 9, cluster scale: fleet goodput w.r.t. RPS across routing
+// policies.
+//
+// Four heterogeneous Llama-3.1-70B replicas — the baseline A100 TP4
+// shape, an A100 TP8 wide shape, the H100 TP8 spec-decode-strong shape,
+// and a TP4 shape with its 8B draft offloaded to a dedicated H100 —
+// serve one real-shaped arrival stream under each of the four routing
+// policies (round-robin, join-shortest-queue, power-of-two-choices,
+// SLO-aware). The sweep shows where queue-aware routing pulls ahead of
+// round-robin and where SLO-aware routing (steering tight-TPOT
+// categories to spec-strong replicas) beats both.
+//
+// Deterministic: the routing pre-pass is serial and seeded, replicas run
+// as independent tasks, so same-seed reruns are byte-identical at any
+// --threads value.
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "bench/sweep_common.h"
+
+namespace adaserve {
+namespace {
+
+// Fleet-level RPS grid: four replicas absorb roughly 4x the
+// single-replica Llama saturation range (Fig. 9 swept 2.6-5.0).
+std::vector<double> ClusterRpsGrid() { return {8.0, 10.0, 12.0, 14.0, 16.0}; }
+
+constexpr const char* kFleetLabel = "Llama-3.1-70B-cluster4";
+
+ClusterConfig MakeFleet(RouterPolicy policy, int threads) {
+  ClusterConfig config;
+  for (Setup setup :
+       {LlamaSetup(), LlamaTp8Setup(), LlamaH100Tp8Setup(), LlamaDraftOffloadSetup()}) {
+    ReplicaSpec spec;
+    spec.setup = std::move(setup);
+    config.replicas.push_back(std::move(spec));
+  }
+  config.router = policy;
+  config.threads = threads;
+  return config;
+}
+
+int Run(const BenchArgs& args) {
+  BenchJson json("fig09_cluster");
+  const int threads = args.threads > 0
+                          ? args.threads
+                          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::cout << "Figure 9 (cluster): fleet goodput w.r.t. RPS (4 heterogeneous replicas, "
+            << "mix 60/20/20, real-shaped trace, " << threads << " threads)\n";
+
+  // One reference Experiment generates the fleet-wide arrival stream; the
+  // per-replica Experiments are rebuilt inside each cluster run.
+  const Experiment reference(LlamaSetup());
+  const std::vector<double> grid = GridFor(args, ClusterRpsGrid());
+
+  std::cout << "\n" << kFleetLabel << "\n";
+  TablePrinter table({"Router", "RPS", "Goodput(tok/s)", "Attainment(%)", "Throughput(tok/s)"});
+  double total_wall_clock_s = 0.0;
+  for (RouterPolicy policy : AllRouterPolicies()) {
+    const Cluster cluster(MakeFleet(policy, args.threads));
+    const std::string system(RouterPolicyName(policy));
+    for (double rps : grid) {
+      auto stream = reference.RealTraceStream(SweepDurationFor(args), rps, PeakMix());
+      const ClusterResult result = cluster.Run(SystemKind::kAdaServe, *stream);
+      const Metrics& m = result.metrics.merged;
+      table.AddRow({system, Fmt(rps, 1), Fmt(m.GoodputTps(), 1), FmtPct(m.AttainmentPct()),
+                    Fmt(m.ThroughputTps(), 1)});
+      json.Add(kFleetLabel, system, "goodput_tps", rps, m.GoodputTps());
+      json.Add(kFleetLabel, system, "attainment_pct", rps, m.AttainmentPct());
+      json.Add(kFleetLabel, system, "throughput_tps", rps, m.ThroughputTps());
+      json.Add(kFleetLabel, system, "wall_clock_s", rps, result.wall_clock_s);
+      total_wall_clock_s += result.wall_clock_s;
+    }
+  }
+  table.Print(std::cout);
+  json.SetRunInfo(threads, total_wall_clock_s);
+  return FinishBench(args, json);
+}
+
+}  // namespace
+}  // namespace adaserve
+
+int main(int argc, char** argv) {
+  return adaserve::Run(adaserve::ParseBenchArgs(argc, argv));
+}

@@ -1,0 +1,150 @@
+#include "src/cluster/router.h"
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+namespace {
+
+// Least-backlog replica among indices satisfying `eligible`; falls back
+// to all replicas when no index satisfies it. Ties break toward the
+// lowest index, so selection is deterministic.
+template <typename Eligible>
+size_t LeastBacklog(const Request& req, const std::vector<ReplicaRouterState>& replicas,
+                    const Eligible& eligible) {
+  size_t best = replicas.size();
+  for (int pass = 0; pass < 2 && best == replicas.size(); ++pass) {
+    const bool fallback = pass == 1;  // Second pass ignores eligibility.
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      if (!fallback && !eligible(i)) {
+        continue;
+      }
+      if (best == replicas.size() ||
+          replicas[i].BacklogSeconds(req.arrival) < replicas[best].BacklogSeconds(req.arrival)) {
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+class RoundRobinRouter final : public Router {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+
+  size_t Route(const Request&, const std::vector<ReplicaRouterState>& replicas) override {
+    ADASERVE_CHECK(!replicas.empty()) << "routing with no replicas";
+    return next_++ % replicas.size();
+  }
+
+ private:
+  size_t next_ = 0;
+};
+
+class JoinShortestQueueRouter final : public Router {
+ public:
+  std::string_view name() const override { return "join-shortest-queue"; }
+
+  size_t Route(const Request& req, const std::vector<ReplicaRouterState>& replicas) override {
+    ADASERVE_CHECK(!replicas.empty()) << "routing with no replicas";
+    return LeastBacklog(req, replicas, [](size_t) { return true; });
+  }
+};
+
+class PowerOfTwoChoicesRouter final : public Router {
+ public:
+  explicit PowerOfTwoChoicesRouter(uint64_t seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "power-of-two"; }
+
+  size_t Route(const Request& req, const std::vector<ReplicaRouterState>& replicas) override {
+    ADASERVE_CHECK(!replicas.empty()) << "routing with no replicas";
+    const size_t n = replicas.size();
+    if (n == 1) {
+      return 0;
+    }
+    // Two draws without replacement; the seeded stream makes the whole
+    // assignment sequence a pure function of (seed, request order).
+    const size_t a = static_cast<size_t>(rng_.UniformInt(n));
+    size_t b = static_cast<size_t>(rng_.UniformInt(n - 1));
+    if (b >= a) {
+      ++b;
+    }
+    const double backlog_a = replicas[a].BacklogSeconds(req.arrival);
+    const double backlog_b = replicas[b].BacklogSeconds(req.arrival);
+    if (backlog_a != backlog_b) {
+      return backlog_a < backlog_b ? a : b;
+    }
+    return a < b ? a : b;
+  }
+
+ private:
+  Rng rng_;
+};
+
+// SLO-aware steering: tight-TPOT requests go to the least-loaded replica
+// among the spec-decode-strong ones (strength above the fleet mean);
+// relaxed requests go to the least-loaded replica among the rest, keeping
+// the strong replicas' capacity for work that actually needs their
+// acceptance rate. Either class falls back to the whole fleet when its
+// preferred subset is empty (homogeneous clusters degrade to JSQ).
+class SloAwareRouter final : public Router {
+ public:
+  explicit SloAwareRouter(double urgent_tpot_slo) : urgent_tpot_slo_(urgent_tpot_slo) {}
+
+  std::string_view name() const override { return "slo-aware"; }
+
+  size_t Route(const Request& req, const std::vector<ReplicaRouterState>& replicas) override {
+    ADASERVE_CHECK(!replicas.empty()) << "routing with no replicas";
+    double mean_strength = 0.0;
+    for (const ReplicaRouterState& r : replicas) {
+      mean_strength += r.spec_strength;
+    }
+    mean_strength /= static_cast<double>(replicas.size());
+    const bool urgent = req.tpot_slo > 0.0 && req.tpot_slo <= urgent_tpot_slo_;
+    return LeastBacklog(req, replicas, [&](size_t i) {
+      return urgent ? replicas[i].spec_strength > mean_strength
+                    : replicas[i].spec_strength <= mean_strength;
+    });
+  }
+
+ private:
+  double urgent_tpot_slo_;
+};
+
+}  // namespace
+
+std::string_view RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kJoinShortestQueue:
+      return "join-shortest-queue";
+    case RouterPolicy::kPowerOfTwoChoices:
+      return "power-of-two";
+    case RouterPolicy::kSloAware:
+      return "slo-aware";
+  }
+  return "unknown";
+}
+
+std::vector<RouterPolicy> AllRouterPolicies() {
+  return {RouterPolicy::kRoundRobin, RouterPolicy::kJoinShortestQueue,
+          RouterPolicy::kPowerOfTwoChoices, RouterPolicy::kSloAware};
+}
+
+std::unique_ptr<Router> MakeRouter(RouterPolicy policy, const RouterConfig& config) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RouterPolicy::kJoinShortestQueue:
+      return std::make_unique<JoinShortestQueueRouter>();
+    case RouterPolicy::kPowerOfTwoChoices:
+      return std::make_unique<PowerOfTwoChoicesRouter>(config.seed);
+    case RouterPolicy::kSloAware:
+      return std::make_unique<SloAwareRouter>(config.urgent_tpot_slo);
+  }
+  ADASERVE_CHECK(false) << "unknown router policy";
+  return nullptr;
+}
+
+}  // namespace adaserve

@@ -1,0 +1,92 @@
+// Pluggable request routers for cluster-scale serving.
+//
+// A Router is the dispatcher of the cluster layer (the ERT-command-
+// scheduler shape: one dispatcher feeding queues across many compute
+// units). It sees each arriving request once, in arrival order, together
+// with the router-side state of every replica — an estimated backlog and
+// static capability scores — and picks the replica the request is
+// dispatched to. Routing is a serial pre-pass over the arrival stream, so
+// every policy is deterministic for a fixed (workload, seed) regardless
+// of how many threads later run the replicas.
+//
+// The backlog estimate is a single-server queueing model maintained by
+// the cluster (Cluster::Partition): routing a request extends the chosen
+// replica's virtual drain time by an estimated service time derived from
+// its roofline throughput. Policies never see real engine state — they
+// are admission-time decisions, exactly like a production front-end that
+// only knows what it has dispatched and how fast each backend drains.
+#ifndef ADASERVE_SRC_CLUSTER_ROUTER_H_
+#define ADASERVE_SRC_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/request.h"
+
+namespace adaserve {
+
+// The four routing policies of the cluster bench (Fig. 9 cluster sweep).
+enum class RouterPolicy {
+  kRoundRobin,
+  kJoinShortestQueue,
+  kPowerOfTwoChoices,
+  kSloAware,
+};
+
+std::string_view RouterPolicyName(RouterPolicy policy);
+
+// All policies, bench/table iteration order.
+std::vector<RouterPolicy> AllRouterPolicies();
+
+// Router-visible state of one replica.
+struct ReplicaRouterState {
+  // Virtual time at which previously dispatched work drains (the
+  // single-server backlog model). BacklogSeconds(now) is what queue-aware
+  // policies compare.
+  double backlog_until = 0.0;
+  // Requests dispatched to this replica so far.
+  long routed = 0;
+  // Static capability: decode tokens/s proxy from the replica's roofline
+  // (used to convert a request into estimated service seconds).
+  double service_tps = 1.0;
+  // Static capability: speculative-decoding strength — draft-to-target
+  // speed ratio weighted by draft fidelity. The SLO-aware policy steers
+  // tight-TPOT requests toward high values.
+  double spec_strength = 0.0;
+
+  double BacklogSeconds(double now) const {
+    return backlog_until > now ? backlog_until - now : 0.0;
+  }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Picks the replica `req` (arriving at req.arrival) is dispatched to.
+  // Called once per request in arrival order; must return an index in
+  // [0, replicas.size()). Implementations must be deterministic given
+  // their construction parameters and the call sequence.
+  virtual size_t Route(const Request& req, const std::vector<ReplicaRouterState>& replicas) = 0;
+};
+
+struct RouterConfig {
+  // Seed of the power-of-two-choices sampling stream.
+  uint64_t seed = 0x5eedc1u;
+  // SLO-aware policy: requests with tpot_slo at or below this (seconds)
+  // are "tight" and steered to spec-decode-strong replicas. The default
+  // covers Cat 1 (1.2x baseline decode latency, tens of ms) and Cat 2
+  // (50 ms) but not Cat 3 (150 ms).
+  double urgent_tpot_slo = 0.10;
+};
+
+std::unique_ptr<Router> MakeRouter(RouterPolicy policy, const RouterConfig& config = {});
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_CLUSTER_ROUTER_H_

@@ -1,11 +1,20 @@
-// Bounded blocking queue for single-producer/single-consumer handoff.
+// Bounded blocking queue for producer/consumer handoff.
 //
 // Backs PrefetchingArrivalStream: the producer thread pushes generated
 // requests, the serving loop pops them, and the bound gives backpressure
 // so prefetch depth — not trace length — caps resident memory. Close()
 // unblocks both sides: a closed queue rejects pushes (producer shutdown
-// on consumer abort) and drains remaining items before Pop reports
+// on consumer abort), handing the rejected item back so the caller can
+// re-route it, and drains remaining items before Pop reports
 // end-of-stream (consumer sees every request of a finished producer).
+//
+// Safe for any number of producers and consumers, not just SPSC: the two
+// condition variables each guard a single uniform predicate (not-full /
+// not-empty), and every successful Push/Pop performs exactly one state
+// transition and one notify_one of the complementary side, so a wakeup
+// can be absorbed by a faster peer but never lost — the absorbing peer's
+// own completed operation re-notifies. bounded_queue_test races multiple
+// producers through one queue under the TSan CI job.
 #ifndef ADASERVE_SRC_COMMON_BOUNDED_QUEUE_H_
 #define ADASERVE_SRC_COMMON_BOUNDED_QUEUE_H_
 
@@ -27,18 +36,21 @@ class BoundedQueue {
     ADASERVE_CHECK(capacity_ > 0) << "bounded queue needs positive capacity";
   }
 
-  // Blocks while the queue is full. Returns false (dropping `v`) if the
-  // queue was closed — the producer's signal to stop generating.
-  bool Push(T v) {
+  // Blocks while the queue is full. Returns nullopt once `v` is enqueued.
+  // If the queue was closed — the producer's signal to stop generating —
+  // `v` is NOT enqueued and is handed back as the residue, so the caller
+  // can re-route the item (a cluster-side fan-in producer re-offers a
+  // rejected request to another replica) instead of losing it.
+  [[nodiscard]] std::optional<T> Push(T v) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) {
-      return false;
+      return std::optional<T>(std::move(v));
     }
     items_.push_back(std::move(v));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return std::nullopt;
   }
 
   // Blocks while the queue is empty and open. Returns nullopt only when

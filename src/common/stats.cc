@@ -21,6 +21,14 @@ void RunningStat::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+double RunningStat::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double RunningStat::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
 double RunningStat::Variance() const {
   if (count_ < 2) {
     return 0.0;
@@ -62,21 +70,40 @@ double Samples::Max() const {
   return *std::max_element(values_.begin(), values_.end());
 }
 
+void Samples::MaterializeSorted() {
+  if (sorted_valid_) {
+    return;
+  }
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+namespace {
+
+double InterpolatedPercentile(const std::vector<double>& sorted, double p) {
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double Samples::Percentile(double p) const {
   if (values_.empty()) {
     return 0.0;
   }
-  if (!sorted_valid_) {
-    sorted_ = values_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
+  if (sorted_valid_) {
+    return InterpolatedPercentile(sorted_, p);
   }
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
-  const auto lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+  // Unmaterialized: sort a local copy rather than mutating shared state —
+  // two threads querying one const Samples must not race on a cache.
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  return InterpolatedPercentile(sorted, p);
 }
 
 Histogram::Histogram(double lo, double hi, size_t bins)

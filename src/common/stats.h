@@ -14,8 +14,13 @@ class RunningStat {
 
   size_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  // Extrema of the samples seen so far. NaN for an empty accumulator: a
+  // fabricated 0.0 silently poisons merged aggregates (a cluster
+  // min-latency of 0.0 from a replica that served nothing looks like a
+  // miracle, not a hole), while NaN survives min/max folds as a visible
+  // sentinel and trips any comparison-based assertion.
+  double min() const;
+  double max() const;
 
   // Population variance (divides by N); 0 for fewer than two samples.
   double Variance() const;
@@ -46,6 +51,14 @@ class Samples {
   }
   void Reserve(size_t n) { values_.reserve(n); }
 
+  // Appends every sample of `other` (in its insertion order). Cluster
+  // metrics merging concatenates per-replica sample sets with this;
+  // appending in replica order keeps the merge deterministic.
+  void Append(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_valid_ = false;
+  }
+
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
   double Mean() const;
@@ -53,19 +66,28 @@ class Samples {
   double Min() const;
   double Max() const;
 
+  // Pre-computes the sorted view backing Percentile. Call once after the
+  // last Add (MetricsAccumulator::Finalize does) so later Percentile
+  // queries share the cached sort instead of each paying O(n log n).
+  // Mutation is confined to this non-const call: const Percentile never
+  // writes, so any number of threads may query one shared finalized
+  // Samples concurrently (stats_test pins this under TSan).
+  void MaterializeSorted();
+
   // Linear-interpolated percentile, p in [0, 100]. Returns 0 when empty.
-  // The sorted view is computed once and cached (invalidated by Add), so
-  // querying several quantiles at metrics finalization sorts once instead
-  // of O(n log n) per call.
+  // Uses the MaterializeSorted cache when valid; otherwise sorts a local
+  // copy per call — correct but O(n log n) each time, so materialize
+  // before repeated queries.
   double Percentile(double p) const;
 
   const std::vector<double>& values() const { return values_; }
 
  private:
   std::vector<double> values_;
-  // Lazily sorted copy backing Percentile; valid iff sorted_valid_.
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  // Sorted copy backing Percentile; valid iff sorted_valid_. Written only
+  // by MaterializeSorted (invalidated by Add), never by const queries.
+  std::vector<double> sorted_;
+  bool sorted_valid_ = false;
 };
 
 // Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the

@@ -43,12 +43,40 @@ Setup QwenSetup() {
   return setup;
 }
 
+Setup LlamaH100Tp8Setup() {
+  Setup setup = LlamaSetup();
+  setup.label = "Llama-3.1-70B-H100-TP8";
+  setup.tensor_parallel = 8;
+  setup.gpu = H100_80G();
+  setup.draft_profile = Llama31_8B();
+  // The 8B draft tracks the 70B target far better than the 1B one.
+  setup.draft_config = DraftConfig{.fidelity = 0.93, .noise_seed = 0x5eed0071};
+  return setup;
+}
+
+Setup LlamaTp8Setup() {
+  Setup setup = LlamaSetup();
+  setup.label = "Llama-3.1-70B-A100-TP8";
+  setup.tensor_parallel = 8;
+  return setup;
+}
+
+Setup LlamaDraftOffloadSetup() {
+  Setup setup = LlamaSetup();
+  setup.label = "Llama-3.1-70B-draft-offload";
+  setup.draft_profile = Llama31_8B();
+  setup.draft_gpu = H100_80G();
+  setup.draft_config = DraftConfig{.fidelity = 0.93, .noise_seed = 0x5eed0071};
+  return setup;
+}
+
 Experiment::Experiment(const Setup& setup)
     : setup_(setup),
       target_(setup.lm_config),
       draft_(&target_, setup.draft_config),
       target_latency_(setup.target_profile, setup.gpu, setup.tensor_parallel),
-      draft_latency_(setup.draft_profile, setup.gpu, /*tensor_parallel=*/1) {}
+      draft_latency_(setup.draft_profile, setup.draft_gpu.value_or(setup.gpu),
+                     setup.draft_tensor_parallel) {}
 
 std::vector<CategorySpec> Experiment::Categories(const CategoryConfig& config) const {
   return DefaultCategories(BaselineLatency(), config);

@@ -5,6 +5,7 @@
 #define ADASERVE_SRC_HARNESS_EXPERIMENT_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,13 @@ struct Setup {
   ModelProfile draft_profile;
   int tensor_parallel = 1;
   GpuSpec gpu;
+  // Draft deployment. Unset draft_gpu: the draft is colocated on the
+  // target's GPU type (the classic Table-1 shape). Set: the draft runs on
+  // its own dedicated device — the cluster layer's draft-on-separate-GPU
+  // replica shape, which makes a bigger (higher-fidelity) draft
+  // affordable because its decode time never contends with verification.
+  std::optional<GpuSpec> draft_gpu;
+  int draft_tensor_parallel = 1;
   LmConfig lm_config;
   DraftConfig draft_config;
 };
@@ -29,6 +37,19 @@ struct Setup {
 Setup LlamaSetup();
 // Qwen2.5-32B-Instruct, 2-way TP on 2x A100-80G; Qwen2.5-0.5B draft.
 Setup QwenSetup();
+
+// Heterogeneous cluster replica shapes (ROADMAP cluster item). All three
+// serve the same Llama-3.1-70B target as LlamaSetup, so one workload can
+// be routed across any mix of them:
+//
+// 8-way TP on 8x H100-80G with the 8B strong draft colocated — the
+// fleet's spec-decode-strong fast replica.
+Setup LlamaH100Tp8Setup();
+// 8-way TP on 8x A100-80G, 1B draft (capacity via TP width alone).
+Setup LlamaTp8Setup();
+// 4-way TP on 4x A100-80G with the 8B strong draft offloaded to a
+// dedicated H100 (draft-on-separate-GPU).
+Setup LlamaDraftOffloadSetup();
 
 // Instantiated setup: owns the models and latency models.
 class Experiment {

@@ -46,4 +46,26 @@ ModelProfile Qwen25_05B() {
   };
 }
 
+ModelProfile Llama31_8B() {
+  return ModelProfile{
+      .name = "Llama-3.1-8B-Instruct",
+      .params = 8.03e9,
+      .num_layers = 32,
+      .hidden_dim = 4096,
+      .kv_heads = 8,
+      .head_dim = 128,
+  };
+}
+
+ModelProfile Qwen25_7B() {
+  return ModelProfile{
+      .name = "Qwen2.5-7B-Instruct",
+      .params = 7.62e9,
+      .num_layers = 28,
+      .hidden_dim = 3584,
+      .kv_heads = 4,
+      .head_dim = 128,
+  };
+}
+
 }  // namespace adaserve

@@ -70,8 +70,17 @@ void MetricsAccumulator::AddIteration(const IterationRecord& rec) {
 Metrics MetricsAccumulator::Finalize(SimTime makespan) const {
   Metrics m = m_;
   m.makespan = makespan;
+  m.spec_requests = spec_requests_;
   if (spec_requests_ > 0) {
     m.mean_accepted = accepted_sum_ / spec_requests_;
+  }
+  // Pre-sort the per-category sample sets on the finalized snapshot:
+  // percentile queries on the returned Metrics then share one cached sort
+  // and — because const Percentile never writes — are safe from any
+  // number of threads at once.
+  for (CategoryMetrics& cat : m.per_category) {
+    cat.tpot_ms.MaterializeSorted();
+    cat.ttft_ms.MaterializeSorted();
   }
   return m;
 }

@@ -40,6 +40,9 @@ struct Metrics {
   // Mean accepted speculated tokens per verification per request, averaged
   // over requests that underwent speculative decoding (Fig. 12).
   double mean_accepted = 0.0;
+  // Requests that underwent speculative decoding — the weight of
+  // mean_accepted, kept so multi-replica merges can re-average it.
+  int spec_requests = 0;
 
   // Latency breakdown sums across all iterations (Fig. 15).
   SimTime spec_time = 0.0;

@@ -12,8 +12,11 @@ PrefetchingArrivalStream::PrefetchingArrivalStream(std::unique_ptr<ArrivalStream
   ADASERVE_CHECK(inner_ != nullptr) << "prefetch needs an inner stream";
   producer_ = std::thread([this] {
     while (!inner_->Exhausted()) {
-      if (!queue_.Push(inner_->Next())) {
-        return;  // Consumer closed the queue mid-stream (early teardown).
+      if (queue_.Push(inner_->Next()).has_value()) {
+        // Consumer closed the queue mid-stream (early teardown). The
+        // rejected request comes back as the residue; a single-consumer
+        // prefetcher has nowhere to re-route it, so drop and stop.
+        return;
       }
     }
     queue_.Close();

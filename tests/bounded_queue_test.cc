@@ -1,0 +1,125 @@
+#include "src/common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace adaserve {
+namespace {
+
+TEST(BoundedQueue, PushPopRoundTrip) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.Push(1).has_value());
+  EXPECT_FALSE(q.Push(2).has_value());
+  EXPECT_EQ(q.Pop(), std::optional<int>(1));
+  EXPECT_EQ(q.Pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, PopReportsEndOfStreamAfterCloseAndDrain) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.Push(7).has_value());
+  q.Close();
+  EXPECT_EQ(q.Pop(), std::optional<int>(7));  // Backlog drains first.
+  EXPECT_EQ(q.Pop(), std::nullopt);           // Then end-of-stream.
+}
+
+// The satellite-bugfix regression: a rejected push must hand the item
+// back instead of destroying it, so a cluster-side producer can re-route
+// the request.
+TEST(BoundedQueue, ClosedPushReturnsResidue) {
+  BoundedQueue<std::vector<int>> q(2);
+  q.Close();
+  std::vector<int> item = {1, 2, 3};
+  std::optional<std::vector<int>> residue = q.Push(std::move(item));
+  ASSERT_TRUE(residue.has_value());
+  EXPECT_EQ(*residue, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedQueue, CloseMidBlockedPushReturnsResidue) {
+  BoundedQueue<int> q(1);
+  EXPECT_FALSE(q.Push(1).has_value());  // Queue now full.
+  std::optional<int> residue;
+  std::thread producer([&] { residue = q.Push(42); });  // Blocks on full.
+  // Close while the producer is (likely) blocked; regardless of timing
+  // the push must either succeed before the close or hand 42 back.
+  q.Close();
+  producer.join();
+  if (residue.has_value()) {
+    EXPECT_EQ(*residue, 42);
+  }
+  // The pre-close item always survives.
+  EXPECT_EQ(q.Pop(), std::optional<int>(1));
+}
+
+// Multi-producer fan-in (the router-side shape): the queue is not
+// SPSC-only. Every pushed item must come out exactly once; TSan (CI job)
+// additionally proves the notify discipline race-free.
+TEST(BoundedQueue, MultipleProducersDeliverEveryItemOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(8);
+  std::vector<std::thread> producers;
+  std::atomic<int> rejected{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &rejected, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.Push(p * kPerProducer + i).has_value()) {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::set<int> seen;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    std::optional<int> v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(seen.insert(*v).second) << "duplicate delivery of " << *v;
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(rejected.load(), 0);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+// Multi-producer shutdown: after Close, every producer gets its residue
+// back, and the consumer still drains everything pushed before the close.
+TEST(BoundedQueue, MultiProducerCloseHandsBackResidues) {
+  constexpr int kProducers = 4;
+  BoundedQueue<int> q(2);
+  std::vector<std::thread> producers;
+  std::atomic<int> delivered{0};
+  std::atomic<int> residues{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (q.Push(i).has_value()) {
+          residues.fetch_add(1);
+          return;  // Closed: stop producing.
+        }
+        delivered.fetch_add(1);
+      }
+    });
+  }
+  // Pop a few, then close mid-stream.
+  int popped = 0;
+  for (; popped < 5; ++popped) {
+    ASSERT_TRUE(q.Pop().has_value());
+  }
+  q.Close();
+  while (q.Pop().has_value()) {
+    ++popped;
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  // Everything successfully pushed was popped; nothing vanished.
+  EXPECT_EQ(popped, delivered.load());
+  EXPECT_GT(residues.load(), 0);  // The close interrupted some producer.
+}
+
+}  // namespace
+}  // namespace adaserve

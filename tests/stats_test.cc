@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <limits>
+#include <thread>
+#include <vector>
 
 namespace adaserve {
 namespace {
@@ -202,6 +204,99 @@ TEST(Histogram, InfinityClampsToEdgeBins) {
   EXPECT_EQ(h.count(9), 1u);
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.dropped(), 0u);
+}
+
+// Regression (PR 7 bugfix): an empty RunningStat used to report min/max
+// of 0.0 — indistinguishable from a real zero-valued sample. Empty
+// extrema are now NaN, which no comparison silently swallows.
+TEST(RunningStat, EmptyMinMaxAreNaN) {
+  RunningStat s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.Add(-1.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), -1.0);
+}
+
+TEST(Samples, AppendConcatenatesAndInvalidatesCache) {
+  Samples a;
+  a.Add(3.0);
+  a.Add(1.0);
+  EXPECT_EQ(a.Percentile(100), 3.0);  // Warm the cache.
+  Samples b;
+  b.Add(9.0);
+  b.Add(2.0);
+  a.Append(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.Percentile(100), 9.0);  // Cache must have been invalidated.
+  EXPECT_EQ(a.Percentile(0), 1.0);
+  EXPECT_EQ(b.count(), 2u);  // Source is untouched.
+}
+
+TEST(Samples, MaterializeSortedAgreesWithFreshObject) {
+  Samples mat;
+  Samples fresh;
+  for (int i = 50; i > 0; --i) {
+    mat.Add(i);
+    fresh.Add(i);
+  }
+  mat.MaterializeSorted();
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(mat.Percentile(p), fresh.Percentile(p));
+  }
+}
+
+// Regression (PR 7 bugfix): Percentile() on a shared const Samples used
+// to lazily sort a mutable cache — a data race when replica metrics are
+// read from multiple report threads. Percentile is now genuinely const
+// (it sorts a local copy unless MaterializeSorted pre-computed the
+// view), so concurrent queries are safe. TSan CI proves the absence of
+// races; this test also checks the values.
+TEST(Samples, ConcurrentPercentileQueriesAreSafe) {
+  Samples shared;
+  for (int i = 1000; i > 0; --i) {
+    shared.Add(i);
+  }
+  shared.MaterializeSorted();  // What MetricsAccumulator::Finalize does.
+  const Samples& view = shared;
+  std::vector<std::thread> readers;
+  std::vector<double> medians(8, 0.0);
+  for (size_t t = 0; t < medians.size(); ++t) {
+    readers.emplace_back([&view, &medians, t] {
+      double median = 0.0;
+      for (int rep = 0; rep < 100; ++rep) {
+        median = view.Percentile(50);
+      }
+      medians[t] = median;
+    });
+  }
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  for (double median : medians) {
+    EXPECT_NEAR(median, 500.5, 1e-9);
+  }
+}
+
+// Same race shape without the finalize step: lazily-queried const
+// Samples must not mutate shared state either.
+TEST(Samples, ConcurrentPercentileWithoutMaterializeIsSafe) {
+  Samples shared;
+  for (int i = 100; i > 0; --i) {
+    shared.Add(i);
+  }
+  const Samples& view = shared;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&view] {
+      for (int rep = 0; rep < 50; ++rep) {
+        EXPECT_NEAR(view.Percentile(99), 0.99 * 99 + 1, 1e-9);
+      }
+    });
+  }
+  for (std::thread& t : readers) {
+    t.join();
+  }
 }
 
 class PercentileSweep : public ::testing::TestWithParam<int> {};
