@@ -72,6 +72,11 @@ struct BenchArgs {
   // their sweep over N trace seeds and emit mean / sample-stddev error-bar
   // rows (RunSeedShardedSweep). 1 (default) skips the error-bar pass.
   int seeds = 1;
+  // --admission: benches that support it (bench_fig01_motivation) run the
+  // admission-priority ablation — FIFO vs SLO-urgent recompute eviction vs
+  // preemptive pause/resume under a tight KV cap — instead of their
+  // default study.
+  bool admission = false;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -80,6 +85,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       args.smoke = true;
+    } else if (arg == "--admission") {
+      args.admission = true;
     } else if (arg == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {

@@ -26,7 +26,7 @@ class RoundRobinScheduler : public Scheduler {
 
   // Optional third hook: the admission-priority default for tick-native
   // runs. Declaring kSloUrgentFirst makes urgent-category arrivals jump
-  // the admission queue (EngineConfig::admission_priority overrides it).
+  // the admission queue (TickPolicy::admission_priority overrides it).
   PriorityPolicy AdmissionPriority() const override {
     return PriorityPolicy::kSloUrgentFirst;
   }

@@ -51,6 +51,7 @@ Metrics MergeMetrics(std::span<const Metrics> parts) {
     merged.total_time += part.total_time;
     merged.admissions += part.admissions;
     merged.evictions += part.evictions;
+    merged.pauses += part.pauses;
     merged.spec_requests += part.spec_requests;
     accepted_weighted += part.mean_accepted * part.spec_requests;
     for (int c = 0; c < kNumCategories; ++c) {

@@ -106,9 +106,13 @@ EngineConfig ContinuousTickConfig() {
 
 EngineConfig BoundaryTickConfig() {
   EngineConfig engine;
-  engine.continuous_ticks = false;
-  engine.max_evictions_per_tick = 0;
-  engine.admission_priority = PriorityPolicy::kFifo;
+  engine.tick = TickPolicy::Boundary();
+  return engine;
+}
+
+EngineConfig AsyncTickConfig() {
+  EngineConfig engine;
+  engine.tick = TickPolicy::Async();
   return engine;
 }
 

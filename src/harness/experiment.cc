@@ -104,18 +104,11 @@ std::unique_ptr<ArrivalStream> Experiment::RealTraceStream(double duration, doub
   return MakeRealTraceStream(Categories(cat), config);
 }
 
-EngineResult Experiment::Run(Scheduler& scheduler, std::vector<Request> requests,
+EngineResult Experiment::Run(Scheduler& scheduler, WorkloadSource workload,
                              const EngineConfig& engine, int verify_budget,
                              int draft_budget) const {
   Engine e(&target_, &draft_, &target_latency_, &draft_latency_, engine);
-  return e.Run(scheduler, std::move(requests), verify_budget, draft_budget);
-}
-
-EngineResult Experiment::Run(Scheduler& scheduler, ArrivalStream& stream,
-                             const EngineConfig& engine, int verify_budget,
-                             int draft_budget) const {
-  Engine e(&target_, &draft_, &target_latency_, &draft_latency_, engine);
-  return e.Run(scheduler, stream, verify_budget, draft_budget);
+  return e.Run(scheduler, std::move(workload), verify_budget, draft_budget);
 }
 
 EngineResult Experiment::RunLegacyDrainLoop(Scheduler& scheduler, std::vector<Request> requests,
@@ -146,7 +139,7 @@ EngineResult Experiment::RunLegacyDrainLoop(Scheduler& scheduler, std::vector<Re
       pool.AddArrival(requests[next]);
       ++next;
     }
-    pool.AdmitUpTo(engine.max_active_requests);
+    pool.AdmitUpTo(engine.tick.max_active);
     result.peak_resident_requests = std::max(result.peak_resident_requests, pool.resident_count());
     if (pool.active().empty()) {
       ADASERVE_CHECK(pool.queued().empty()) << "admission deadlock";

@@ -1,9 +1,11 @@
 #include "src/serve/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/serve/tick_pipeline.h"
 
 namespace adaserve {
 
@@ -20,8 +22,9 @@ Engine::Engine(const SyntheticLm* target, const DraftLm* draft, const LatencyMod
   ADASERVE_CHECK(config_.arrival_horizon >= 0) << "negative arrival horizon";
 }
 
-EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify_budget,
+EngineResult Engine::Run(Scheduler& scheduler, WorkloadSource source, int verify_budget,
                          int draft_budget) {
+  ArrivalStream& stream = source.stream();
   KvCache kv(target_latency_->KvCacheBytes(), target_latency_->model().KvBytesPerToken());
   RequestPool pool(&kv);
   pool.set_release_payload_on_finish(config_.retire_finished);
@@ -37,25 +40,23 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
   ctx.draft_budget =
       draft_budget > 0 ? draft_budget : DeriveDraftBudget(*target_latency_, *draft_latency_);
   ctx.rng = &rng;
-  ctx.tick.max_active = config_.max_active_requests;
-  ctx.tick.continuous = config_.continuous_ticks;
-  ctx.tick.prefill_burst = config_.prefill_burst;
-  // Boundary mode is the legacy drain loop, byte-for-byte: it admits
-  // FIFO and never evicts, regardless of the tick-native knobs — with
-  // eviction and priority now defaulted on, `continuous_ticks = false`
-  // alone must still mean "the historical engine". Tick-native mode
-  // resolves the priority override first, then the scheduler's default.
-  ctx.tick.max_evictions = config_.continuous_ticks ? config_.max_evictions_per_tick : 0;
-  ctx.tick.priority =
-      config_.continuous_ticks
-          ? config_.admission_priority.value_or(scheduler.AdmissionPriority())
-          : PriorityPolicy::kFifo;
+  // The whole tick policy crosses the engine boundary as one value:
+  // ResolvedFor fills an unset admission priority from the scheduler's
+  // default and neutralizes tick-native knobs in boundary mode (the drain
+  // loop's byte-identity to the legacy engine depends on it).
+  ctx.tick = config_.tick.ResolvedFor(scheduler);
+  // Async pipeline stage: one planner worker per run, engine-owned.
+  std::optional<TickPlanner> planner;
+  if (ctx.tick.async_planner) {
+    planner.emplace();
+    ctx.planner = &*planner;
+  }
 
   // Pull until this many requests sit in the admission queue: admission can
-  // consume at most max_active_requests per tick, so holding that many
-  // plus the horizon makes lazy injection indistinguishable from the old
+  // consume at most tick.max_active per tick, so holding that many plus
+  // the horizon makes lazy injection indistinguishable from the old
   // inject-everything-due loop.
-  const size_t pull_target = static_cast<size_t>(config_.max_active_requests) +
+  const size_t pull_target = static_cast<size_t>(ctx.tick.max_active) +
                              static_cast<size_t>(config_.arrival_horizon);
   SimTime last_arrival = 0.0;
   // Makes arrivals due by `t` visible in the admission queue, bounded by
@@ -86,7 +87,7 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
   while (!stream.Exhausted() || pool.HasWork()) {
     ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
     pull_arrivals(now);
-    if (config_.event_driven && !pool.HasWork()) {
+    if (ctx.tick.event_driven && !pool.HasWork()) {
       // Next-event skip: with nothing queued and nothing active a tick
       // cannot change state, so the earliest event is the next arrival —
       // jump the clock there in one step. The loop condition plus the
@@ -129,13 +130,12 @@ EngineResult Engine::Run(Scheduler& scheduler, ArrivalStream& stream, int verify
     result.requests.assign(pool.requests().begin(), pool.requests().end());
   }
   result.metrics = acc.Finalize(now);
+  if (planner.has_value()) {
+    result.planned_ticks = planner->planned();
+    result.plan_hits = planner->hits();
+    result.plan_misses = planner->misses();
+  }
   return result;
-}
-
-EngineResult Engine::Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget,
-                         int draft_budget) {
-  MaterializedStream stream(std::move(requests));
-  return Run(scheduler, stream, verify_budget, draft_budget);
 }
 
 }  // namespace adaserve

@@ -30,20 +30,18 @@
 namespace adaserve {
 
 struct EngineConfig {
-  // Upper bound on concurrently admitted requests (vLLM max_num_seqs).
-  int max_active_requests = 256;
   // Safety valve: abort if an experiment exceeds this many iterations.
   long max_iterations = 50'000'000;
   uint64_t sampling_seed = 1234;
   DecodeMode mode = DecodeMode::kStochastic;
   // Queued arrivals pulled from the stream beyond what admission can
   // consume this iteration. Under FIFO admission any value >= 0 yields
-  // identical scheduling (admission can admit at most
-  // max_active_requests per iteration) and the horizon only bounds how
-  // much of a due burst is resident at once. Under a priority admission
-  // policy it additionally bounds how deep into a due burst the ranker
-  // can see: an urgent arrival beyond the horizon cannot jump the queue
-  // until the backlog ahead of it is pulled.
+  // identical scheduling (admission can admit at most tick.max_active
+  // per iteration) and the horizon only bounds how much of a due burst
+  // is resident at once. Under a priority admission policy it
+  // additionally bounds how deep into a due burst the ranker can see: an
+  // urgent arrival beyond the horizon cannot jump the queue until the
+  // backlog ahead of it is pulled.
   int arrival_horizon = 256;
   // Keep the per-iteration log in EngineResult::iterations. Turn off for
   // huge streaming runs; metrics aggregate the log either way.
@@ -53,32 +51,69 @@ struct EngineConfig {
   // and EngineResult::requests is left empty. Metrics are bit-identical
   // to a non-retiring run.
   bool retire_finished = false;
-  // Tick-native continuous batching (the serving default): admission
-  // moves inside the tick (including mid-tick, after the decode phase)
-  // and prefill runs as a shared burst-capped phase. Set false — or use
-  // BoundaryTickConfig() — for boundary admission + drain-style
-  // iterations, byte-identical to the historical loop and its goldens.
-  bool continuous_ticks = true;
-  // kBurst-style per-request prefill cap of a tick-native prefill phase.
-  int prefill_burst = kBurst;
-  // Tick-native mode: recompute-style evictions allowed per tick when the
-  // admission-queue head is blocked on KV (0 disables eviction).
-  int max_evictions_per_tick = 4;
-  // Next-event scheduling: when the pool is provably inert — nothing
-  // queued, nothing active — advance the clock straight to the next
-  // arrival instead of running a tick that cannot change state. The
-  // skipped tick was a no-op by construction, so results (including
-  // total_iterations: an idle gap costs one loop iteration either way)
-  // are byte-identical to the per-tick loop; engine_test pins that. Set
-  // false to run the historical probe-every-gap loop.
-  bool event_driven = true;
-  // Tick-native admission-priority override. Unset defers to the
-  // scheduler's AdmissionPriority() default (e.g. AdaServe admits
-  // urgent-first, vLLM stays FIFO); set forces the policy for any
-  // scheduler. Boundary mode always admits FIFO regardless — the drain
-  // loop's byte-identity to the legacy engine depends on it.
-  std::optional<PriorityPolicy> admission_priority;
+  // The unified tick policy (scheduler.h): every tick-shaped serving knob
+  // — slot cap, continuous vs boundary ticks, prefill burst, eviction
+  // budget, admission priority, event-driven clock, async planner — in
+  // one struct. Engine::Run resolves it (TickPolicy::ResolvedFor) and
+  // hands it to the scheduler through ServingContext unchanged.
+  TickPolicy tick;
+
+  // Convenience alias kept under its historical name (vLLM max_num_seqs).
+  int& max_active_requests = tick.max_active;
+
+  // --- deprecated aliases (one release): the pre-TickPolicy field names.
+  // They alias the tick members exactly, so old code keeps its semantics;
+  // new code (and everything in-tree) must use `tick.*` — builds with
+  // -Werror treat any use as an error. The pragmas keep the shim's own
+  // constructors (which implicitly touch the aliases) warning-clean.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  [[deprecated("use tick.continuous")]] bool& continuous_ticks = tick.continuous;
+  [[deprecated("use tick.prefill_burst")]] int& prefill_burst = tick.prefill_burst;
+  [[deprecated("use tick.max_evictions")]] int& max_evictions_per_tick = tick.max_evictions;
+  [[deprecated("use tick.event_driven")]] bool& event_driven = tick.event_driven;
+  [[deprecated("use tick.admission_priority")]] std::optional<PriorityPolicy>&
+      admission_priority = tick.admission_priority;
+
+  // The aliases are self-references, so copies must rebind them to the
+  // copy's own tick (the default member initializers do) rather than
+  // memberwise-copy the referents.
+  EngineConfig() = default;
+  EngineConfig(const EngineConfig& other)
+      : max_iterations(other.max_iterations),
+        sampling_seed(other.sampling_seed),
+        mode(other.mode),
+        arrival_horizon(other.arrival_horizon),
+        record_iterations(other.record_iterations),
+        retire_finished(other.retire_finished),
+        tick(other.tick) {}
+  EngineConfig& operator=(const EngineConfig& other) {
+    max_iterations = other.max_iterations;
+    sampling_seed = other.sampling_seed;
+    mode = other.mode;
+    arrival_horizon = other.arrival_horizon;
+    record_iterations = other.record_iterations;
+    retire_finished = other.retire_finished;
+    tick = other.tick;  // References already bind to this->tick.
+    return *this;
+  }
+#pragma GCC diagnostic pop
 };
+
+namespace internal {
+// The deprecation shim is only sound while TickPolicy's defaults equal
+// the documented legacy EngineConfig defaults — a drift would silently
+// change the meaning of old code still using the aliases.
+constexpr bool TickPolicyDefaultsMatchLegacy() {
+  TickPolicy tick;
+  return tick.max_active == 256 && tick.continuous && tick.prefill_burst == kBurst &&
+         tick.max_evictions == 4 && !tick.admission_priority.has_value() && tick.event_driven &&
+         !tick.async_planner;
+}
+}  // namespace internal
+static_assert(internal::TickPolicyDefaultsMatchLegacy(),
+              "TickPolicy defaults drifted from the legacy EngineConfig defaults; "
+              "update the deprecated-alias shim (and its documentation) together");
 
 struct EngineResult {
   Metrics metrics;
@@ -93,6 +128,12 @@ struct EngineResult {
   // Peak number of requests resident in the pool at once — the O(active)
   // memory guarantee for streaming runs.
   size_t peak_resident_requests = 0;
+  // Async tick pipeline effectiveness (tick.async_planner runs only):
+  // ticks planned, and how many reconciled to a hit (plan applied) vs a
+  // miss (serial fallback). Zero when the planner is off.
+  long planned_ticks = 0;
+  long plan_hits = 0;
+  long plan_misses = 0;
 };
 
 class Engine {
@@ -101,15 +142,13 @@ class Engine {
   Engine(const SyntheticLm* target, const DraftLm* draft, const LatencyModel* target_latency,
          const LatencyModel* draft_latency, const EngineConfig& config = {});
 
-  // Serves requests pulled lazily from `stream` with `scheduler` until the
-  // stream is exhausted and the pool drains. `verify_budget`/`draft_budget`
+  // Serves `source` — a live ArrivalStream (pulled lazily) or an
+  // arrival-sorted request vector (adapted via MaterializedStream), both
+  // of which convert implicitly — with `scheduler` until the stream is
+  // exhausted and the pool drains. `verify_budget`/`draft_budget`
   // parameterise the ServingContext; pass 0 to derive them from the
   // roofline (DeriveTokenBudget).
-  EngineResult Run(Scheduler& scheduler, ArrivalStream& stream, int verify_budget = 0,
-                   int draft_budget = 0);
-
-  // Serves `requests` (sorted by arrival) via a MaterializedStream.
-  EngineResult Run(Scheduler& scheduler, std::vector<Request> requests, int verify_budget = 0,
+  EngineResult Run(Scheduler& scheduler, WorkloadSource source, int verify_budget = 0,
                    int draft_budget = 0);
 
  private:

@@ -65,6 +65,7 @@ void MetricsAccumulator::AddIteration(const IterationRecord& rec) {
   m_.total_time += rec.duration;
   m_.admissions += rec.admitted;
   m_.evictions += rec.evicted;
+  m_.pauses += rec.paused;
 }
 
 Metrics MetricsAccumulator::Finalize(SimTime makespan) const {

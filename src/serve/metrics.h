@@ -51,10 +51,13 @@ struct Metrics {
   SimTime prefill_time = 0.0;
   SimTime total_time = 0.0;
 
-  // Tick-protocol counters: admissions and recompute-style evictions
-  // summed over all ticks. In boundary mode evictions are always 0.
+  // Tick-protocol counters: admissions, recompute-style evictions, and
+  // progress-preserving pauses (kSloUrgentPause preemptive eviction)
+  // summed over all ticks. In boundary mode evictions and pauses are
+  // always 0.
   long admissions = 0;
   long evictions = 0;
+  long pauses = 0;
 
   double AttainmentPct() const {
     return finished == 0 ? 100.0 : 100.0 * attained / static_cast<double>(finished);

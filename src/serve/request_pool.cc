@@ -90,7 +90,8 @@ int RequestPool::AdmitUpTo(int max_active, const AdmissionRanker& rank) {
 
 RequestId RequestPool::AdmitWithEviction(int max_active, int max_evictions, int* evicted,
                                          const AdmissionRanker& rank,
-                                         const VictimSelector& select_victim) {
+                                         const VictimSelector& select_victim,
+                                         EvictionStyle style) {
   if (queued_.empty() || static_cast<int>(active_.size()) >= max_active) {
     return kInvalidRequestId;  // Blocked on slots, not KV.
   }
@@ -125,7 +126,11 @@ RequestId RequestPool::AdmitWithEviction(int max_active, int max_evictions, int*
     // Each push_front reverses eviction order: the default newest-first
     // selector leaves victims queued in ascending (arrival) order, the
     // SLO-aware loosest-first selector leaves tighter-SLO victims first.
-    Evict(victim);
+    if (style == EvictionStyle::kPause) {
+      Pause(victim);
+    } else {
+      Evict(victim);
+    }
     ++evictions;
   }
   queued_.push_front(head);
@@ -150,6 +155,29 @@ void RequestPool::Evict(RequestId id) {
   req.prefill_progress = 0;  // Recompute-style: prompt work is redone.
   req.state = RequestState::kQueued;
   queued_.push_front(id);
+}
+
+void RequestPool::Pause(RequestId id) {
+  Request& req = Get(id);
+  ADASERVE_CHECK(req.state == RequestState::kPrefilling || req.state == RequestState::kRunning)
+      << "pause on inactive " << id;
+  ADASERVE_CHECK(req.committed_len == 0) << "pause would strand committed output of " << id;
+  auto it = std::find(active_.begin(), active_.end(), id);
+  ADASERVE_CHECK(it != active_.end()) << "paused request not active " << id;
+  active_.erase(it);
+  kv_->Release(id);  // Swap-out: the KV leaves the device...
+  // ...but the prefill progress survives, so re-admission resumes the
+  // prompt where it stopped instead of recomputing it.
+  req.state = RequestState::kPaused;
+  queued_.push_front(id);
+}
+
+RequestId RequestPool::TryAdmitId(RequestId id) {
+  auto it = std::find(queued_.begin(), queued_.end(), id);
+  if (it == queued_.end()) {
+    return kInvalidRequestId;
+  }
+  return TryAdmitAt(it);
 }
 
 void RequestPool::AdvancePrefill(RequestId id, int chunk) {

@@ -21,6 +21,16 @@
 
 namespace adaserve {
 
+// How an eviction-for-admission victim is displaced. kRecompute releases
+// its KV and resets prefill progress (the historical style: prompt work is
+// redone from scratch). kPause releases the KV but keeps the prefill
+// progress — modeling swap-out to host memory — so the victim resumes
+// where it left off when re-admitted.
+enum class EvictionStyle {
+  kRecompute,
+  kPause,
+};
+
 class RequestPool {
  public:
   // Admission-order ranker: returns true when `a` should be admitted
@@ -76,10 +86,13 @@ class RequestPool {
   // tighter-SLO victims queue first; equal-rank victims always keep
   // arrival order. `*evicted` (when non-null) is incremented per
   // eviction. Returns the admitted id or kInvalidRequestId (evictions
-  // already performed are kept either way).
+  // already performed are kept either way). `style` picks how victims are
+  // displaced: kRecompute (Evict) or kPause (Pause, progress-preserving);
+  // the one counter covers both since a call uses one style throughout.
   RequestId AdmitWithEviction(int max_active, int max_evictions, int* evicted = nullptr,
                               const AdmissionRanker& rank = nullptr,
-                              const VictimSelector& select_victim = nullptr);
+                              const VictimSelector& select_victim = nullptr,
+                              EvictionStyle style = EvictionStyle::kRecompute);
 
   // Eviction hook (recompute-style): releases the request's KV, resets
   // its prefill progress, and returns it to the front of the admission
@@ -88,6 +101,14 @@ class RequestPool {
   // recompute cost is prompt work alone, so no generated tokens are ever
   // discarded.
   void Evict(RequestId id);
+
+  // Preemptive (pause-style) eviction: releases the request's KV like
+  // Evict but keeps its prefill progress and marks it kPaused — swap-out
+  // semantics. The request waits at the front of the admission queue and,
+  // on re-admission, re-reserves its worst-case footprint and resumes
+  // prefill where it stopped, so no prompt (or output) work is ever
+  // redone. Only zero-output requests are pausable, same as Evict.
+  void Pause(RequestId id);
 
   // Records `chunk` prompt tokens prefilled at time `now`. When the prompt
   // completes, the request transitions to kRunning; the caller then commits
@@ -103,6 +124,18 @@ class RequestPool {
   // preemption). KV stays resident; the request returns to the front of the
   // admission queue and resumes without re-prefilling.
   void Preempt(RequestId id);
+
+  // Targeted admission: admits the specific queued request `id` (wherever
+  // it sits in the queue) if its worst-case footprint fits — no slot
+  // check; callers guarantee a free slot. The async tick planner applies
+  // a validated admission plan through this, preserving the plan's
+  // ranked order without re-running the ranker scan. Returns `id` on
+  // success, kInvalidRequestId if it is not queued or does not fit.
+  RequestId TryAdmitId(RequestId id);
+
+  // KV ledger backing this pool (read-only: the async planner snapshots
+  // free space and block size from it).
+  const KvCache& kv() const { return *kv_; }
 
   // Sum of context (KV) tokens across the given requests — the attention
   // read volume of one iteration.

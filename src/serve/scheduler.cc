@@ -4,9 +4,31 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/serve/tick_pipeline.h"
 #include "src/spec/verifier.h"
 
 namespace adaserve {
+
+TickPolicy TickPolicy::ResolvedFor(const Scheduler& scheduler) const {
+  TickPolicy resolved = *this;
+  if (resolved.continuous) {
+    // Tick-native mode: an explicit policy wins, otherwise the
+    // scheduler's own default (e.g. AdaServe admits urgent-first, vLLM
+    // stays FIFO).
+    if (!resolved.admission_priority.has_value()) {
+      resolved.admission_priority = scheduler.AdmissionPriority();
+    }
+  } else {
+    // Boundary mode is the legacy drain loop, byte-for-byte: it admits
+    // FIFO, never evicts, and never plans ahead, regardless of the
+    // tick-native knobs — `continuous = false` alone must still mean
+    // "the historical engine".
+    resolved.admission_priority = PriorityPolicy::kFifo;
+    resolved.max_evictions = 0;
+    resolved.async_planner = false;
+  }
+  return resolved;
+}
 
 std::vector<RequestId> RunningRequests(const RequestPool& pool) {
   std::vector<RequestId> ids;
@@ -102,6 +124,11 @@ RequestPool::AdmissionRanker PriorityRanker(PriorityPolicy policy) {
   return [](const Request& a, const Request& b) { return a.tpot_slo < b.tpot_slo; };
 }
 
+EvictionStyle PriorityEvictionStyle(PriorityPolicy policy) {
+  return policy == PriorityPolicy::kSloUrgentPause ? EvictionStyle::kPause
+                                                   : EvictionStyle::kRecompute;
+}
+
 RequestPool::VictimSelector PriorityVictimSelector(PriorityPolicy policy) {
   if (policy == PriorityPolicy::kFifo) {
     return nullptr;  // Pool default: newest-admitted zero-output request.
@@ -125,19 +152,29 @@ RequestPool::VictimSelector PriorityVictimSelector(PriorityPolicy policy) {
   };
 }
 
-int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted) {
-  const RequestPool::AdmissionRanker rank = PriorityRanker(opts.priority);
+int TickAdmitPhase(SimTime now, RequestPool& pool, ServingContext& ctx, int* evicted,
+                   int* paused) {
+  if (ctx.pull_arrivals) {
+    // Idempotent after the engine's boundary pull (same clock, unchanged
+    // queue); makes the phase self-contained for drivers that skip it.
+    ctx.pull_arrivals(now);
+  }
+  const TickPolicy& opts = ctx.tick;
+  const PriorityPolicy policy = opts.priority();
+  const RequestPool::AdmissionRanker rank = PriorityRanker(policy);
   int admitted = pool.AdmitUpTo(opts.max_active, rank);
   if (opts.max_evictions > 0) {
-    const RequestPool::VictimSelector select_victim = PriorityVictimSelector(opts.priority);
+    const RequestPool::VictimSelector select_victim = PriorityVictimSelector(policy);
+    const EvictionStyle style = PriorityEvictionStyle(policy);
+    int* displaced = style == EvictionStyle::kPause ? paused : evicted;
     int evictions_left = opts.max_evictions;
     while (evictions_left > 0 && !pool.queued().empty()) {
-      int evicted_now = 0;
-      const RequestId id = pool.AdmitWithEviction(opts.max_active, evictions_left, &evicted_now,
-                                                  rank, select_victim);
-      evictions_left -= evicted_now;
-      if (evicted != nullptr) {
-        *evicted += evicted_now;
+      int displaced_now = 0;
+      const RequestId id = pool.AdmitWithEviction(opts.max_active, evictions_left, &displaced_now,
+                                                  rank, select_victim, style);
+      evictions_left -= displaced_now;
+      if (displaced != nullptr) {
+        *displaced += displaced_now;
       }
       if (id == kInvalidRequestId) {
         break;
@@ -150,11 +187,22 @@ int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted) {
   return admitted;
 }
 
-int MidTickAdmitPhase(SimTime t, RequestPool& pool, ServingContext& ctx) {
+int MidTickAdmitPhase(SimTime now, RequestPool& pool, ServingContext& ctx) {
   if (ctx.pull_arrivals) {
-    ctx.pull_arrivals(t);
+    ctx.pull_arrivals(now);
   }
-  return pool.AdmitUpTo(ctx.tick.max_active, PriorityRanker(ctx.tick.priority));
+  return pool.AdmitUpTo(ctx.tick.max_active, PriorityRanker(ctx.tick.priority()));
+}
+
+int PrefillPhaseBudget(const ServingContext& ctx, int decode_requests, int verified_tokens) {
+  // Phase A's target-forward consumption is its batch roots plus every
+  // token submitted to the verifier (committed tokens are drawn from the
+  // verified ones, so they must not be double-counted). A floor of one
+  // burst guarantees queued prompts keep making TTFT progress even when
+  // decoding consumed the whole budget.
+  const int leftover = ctx.verify_budget - decode_requests - verified_tokens;
+  const int floor = ctx.tick.prefill_burst > 0 ? ctx.tick.prefill_burst : kBurst;
+  return std::max(leftover, floor);
 }
 
 IterationRecord RunBudgetedPrefillPhase(SimTime now, RequestPool& pool, ServingContext& ctx,
@@ -213,7 +261,16 @@ IterationRecord RunBudgetedPrefillPhase(SimTime now, RequestPool& pool, ServingC
 TickResult RunContinuousTick(SimTime now, RequestPool& pool, ServingContext& ctx,
                              const TickPhaseFn& decode_phase) {
   int evicted = 0;
-  const int admitted = TickAdmitPhase(pool, ctx.tick, &evicted);
+  int paused = 0;
+  const int admitted = TickAdmitPhase(now, pool, ctx, &evicted, &paused);
+
+  // Async pipeline: kick the planner off against the phase-A-start
+  // snapshot so the mid-tick admission ranking and the prefill chunk
+  // packing happen on the CPU while the decode phase "occupies the GPU".
+  TickPlanner* planner = ctx.tick.async_planner ? ctx.planner : nullptr;
+  if (planner != nullptr) {
+    planner->BeginPlan(PredictPlanInput(pool, ctx));
+  }
 
   // Phase A: decode — every running request advances this tick.
   TickResult tick;
@@ -221,23 +278,26 @@ TickResult RunContinuousTick(SimTime now, RequestPool& pool, ServingContext& ctx
   IterationRecord& rec = tick.record;
   rec.admitted += admitted;
   rec.evicted += evicted;
+  rec.paused += paused;
   const SimTime phase_a_end = now + rec.duration;
 
-  // Phase B: mid-tick admission — arrivals that landed while phase A
-  // occupied the GPU join this very tick's prefill pass.
-  rec.admitted += MidTickAdmitPhase(phase_a_end, pool, ctx);
-
-  // Phase C: burst-capped prefill on the leftover token budget. Phase A's
-  // target-forward consumption is its batch roots plus every token
-  // submitted to the verifier (committed tokens are drawn from the
-  // verified ones, so they must not be double-counted). A floor of one
-  // burst guarantees queued prompts keep making TTFT progress even when
-  // decoding consumed the whole budget.
-  const int leftover = ctx.verify_budget - rec.decode_requests - rec.verified_tokens;
-  const int floor = ctx.tick.prefill_burst > 0 ? ctx.tick.prefill_burst : kBurst;
-  const int budget = std::max(leftover, floor);
-  const IterationRecord prefill =
-      RunBudgetedPrefillPhase(phase_a_end, pool, ctx, budget, ctx.tick.prefill_burst);
+  // Phases B and C — mid-tick admission (arrivals that landed while
+  // phase A occupied the GPU join this very tick's prefill pass) and the
+  // burst-capped prefill on the leftover token budget. With the planner
+  // on, the precomputed plan is applied when reconciliation proves the
+  // phase-A-start prediction still describes the pool (byte-identity by
+  // construction); any drift — an unpredicted finish, a mid-tick
+  // arrival, a speculative decode — falls back to the serial phases.
+  const int budget = PrefillPhaseBudget(ctx, rec.decode_requests, rec.verified_tokens);
+  IterationRecord prefill;
+  bool plan_applied = false;
+  if (planner != nullptr) {
+    plan_applied = planner->Reconcile(phase_a_end, pool, ctx, budget, rec.admitted, prefill);
+  }
+  if (!plan_applied) {
+    rec.admitted += MidTickAdmitPhase(phase_a_end, pool, ctx);
+    prefill = RunBudgetedPrefillPhase(phase_a_end, pool, ctx, budget, ctx.tick.prefill_burst);
+  }
   rec.duration += prefill.duration;
   rec.prefill_time += prefill.prefill_time;
   rec.prefill_tokens += prefill.prefill_tokens;
@@ -255,7 +315,7 @@ TickResult Scheduler::Tick(SimTime now, RequestPool& pool, ServingContext& ctx) 
   // Boundary mode: admission at tick start, then one drain-style
   // iteration — the exact sequence of the historical engine loop.
   TickResult tick;
-  tick.record.admitted = TickAdmitPhase(pool, ctx.tick, &tick.record.evicted);
+  tick.record.admitted = TickAdmitPhase(now, pool, ctx, &tick.record.evicted);
   if (!pool.active().empty()) {
     const int admitted = tick.record.admitted;
     const int evicted = tick.record.evicted;

@@ -20,6 +20,7 @@
 #define ADASERVE_SRC_SERVE_SCHEDULER_H_
 
 #include <functional>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -30,6 +31,9 @@
 #include "src/serve/request_pool.h"
 
 namespace adaserve {
+
+class Scheduler;
+class TickPlanner;
 
 // Default per-request prefill token cap of one tick-native prefill phase
 // (the UMA-Serve kBurst limit): one very long prompt cannot consume an
@@ -43,32 +47,79 @@ inline constexpr int kBurst = 512;
 // is the paper's SLO-customized admission: requests from tighter-TPOT-SLO
 // categories jump the queue at both admission points, and the
 // evict-for-admission phase may recompute-evict a strictly less urgent
-// *prefilling* request to make room for an urgent head.
+// *prefilling* request to make room for an urgent head. kSloUrgentPause
+// ranks identically but resolves KV pressure preemptively: the urgent head
+// *pauses* its victim (prefill progress preserved, resume-where-left-off)
+// instead of recompute-evicting it — modeling KV swap-out rather than
+// recomputation.
 enum class PriorityPolicy {
   kFifo,
   kSloUrgentFirst,
+  kSloUrgentPause,
 };
 
-// Per-tick policy knobs the engine hands to the scheduler. In boundary
-// mode (continuous == false) only max_active matters and ticks reproduce
-// the legacy admit-then-drain loop exactly.
-struct TickOptions {
+// The unified tick policy: every tick-shaped serving knob in one struct,
+// owned by EngineConfig and handed to the scheduler through ServingContext
+// unchanged (Engine::Run resolves it with ResolvedFor instead of
+// projecting field by field). Defaults describe the serving default —
+// tick-native continuous batching with bounded evict-for-admission.
+struct TickPolicy {
   // Upper bound on concurrently admitted requests (vLLM max_num_seqs).
   int max_active = 256;
   // Tick-native continuous batching: admission moves inside the tick
   // (including mid-tick, after the decode phase) and prefill runs as a
-  // shared burst-capped phase.
-  bool continuous = false;
+  // shared burst-capped phase. false = boundary admission + drain-style
+  // iterations, byte-identical to the historical loop.
+  bool continuous = true;
   // kBurst-style per-request prefill cap of the tick's prefill phase.
   int prefill_burst = kBurst;
-  // Continuous mode: max recompute-style evictions per boundary admission
-  // phase (0 disables evict-for-admission).
-  int max_evictions = 0;
+  // Continuous mode: max evictions (recompute- or pause-style, per the
+  // priority policy) per boundary admission phase (0 disables
+  // evict-for-admission).
+  int max_evictions = 4;
   // Admission ordering of both admission phases, and the victim policy of
-  // evict-for-admission. The engine resolves this from EngineConfig /
-  // the scheduler's AdmissionPriority() in tick-native mode and forces
-  // kFifo in boundary mode (drain-loop byte-identity).
-  PriorityPolicy priority = PriorityPolicy::kFifo;
+  // evict-for-admission. Unset defers to the scheduler's own
+  // AdmissionPriority() default (ResolvedFor fills it in); boundary mode
+  // always resolves to kFifo (drain-loop byte-identity).
+  std::optional<PriorityPolicy> admission_priority;
+  // Next-event scheduling: when the pool is provably inert, the engine
+  // advances the clock straight to the next arrival instead of probing
+  // every gap. Byte-identical either way; see engine.h.
+  bool event_driven = true;
+  // Async tick pipeline: while phase A (decode) occupies the GPU, a
+  // planner thread speculatively ranks this tick's mid-tick admission and
+  // chunks its prefill budget against the phase-A-start pool snapshot; the
+  // tick reconciles at phase-A end and falls back to the serial phases on
+  // any drift, so metrics stay byte-identical to async_planner = false.
+  bool async_planner = false;
+
+  // The policy both admission phases actually rank by (kFifo until
+  // resolved or explicitly set).
+  PriorityPolicy priority() const {
+    return admission_priority.value_or(PriorityPolicy::kFifo);
+  }
+
+  // The policy the engine serves: tick-native mode fills an unset
+  // admission_priority from the scheduler's default; boundary mode
+  // neutralizes every tick-native knob (FIFO, no eviction, no planner) so
+  // `continuous = false` alone still means "the historical engine".
+  TickPolicy ResolvedFor(const Scheduler& scheduler) const;
+
+  // Named presets, mirrored by the EngineConfig-level
+  // ContinuousTickConfig()/BoundaryTickConfig()/AsyncTickConfig().
+  static TickPolicy Continuous() { return TickPolicy{}; }
+  static TickPolicy Boundary() {
+    TickPolicy policy;
+    policy.continuous = false;
+    policy.max_evictions = 0;
+    policy.admission_priority = PriorityPolicy::kFifo;
+    return policy;
+  }
+  static TickPolicy Async() {
+    TickPolicy policy;
+    policy.async_planner = true;
+    return policy;
+  }
 };
 
 // Shared services handed to schedulers each tick. Non-owning.
@@ -84,13 +135,16 @@ struct ServingContext {
   int draft_budget = 256;
   // RNG stream for target sampling / verification.
   Rng* rng = nullptr;
-  // Tick policy (engine config projected onto the scheduler).
-  TickOptions tick;
+  // Tick policy (EngineConfig::tick, resolved via TickPolicy::ResolvedFor).
+  TickPolicy tick;
   // Engine-provided: makes stream arrivals due by the given time visible
   // in the pool's admission queue and returns how many were pulled. Null
   // when the driver injects arrivals itself; mid-tick admission then only
   // sees what is already queued.
   std::function<int(SimTime)> pull_arrivals;
+  // Async tick pipeline stage (tick_pipeline.h); null runs the serial
+  // phases. Owned by the engine, one per run.
+  TickPlanner* planner = nullptr;
 };
 
 // Where one iteration's time went. Speculation/selection/verification map to
@@ -107,6 +161,7 @@ struct IterationRecord {
   int committed_tokens = 0;  // output tokens committed
   int admitted = 0;          // requests admitted during this tick
   int evicted = 0;           // requests evicted (recompute-style) this tick
+  int paused = 0;            // requests paused (progress-preserving) this tick
 };
 
 // Result of one scheduler tick.
@@ -139,7 +194,7 @@ class Scheduler {
   }
 
   // The scheduler's default admission-priority policy for tick-native
-  // serving; EngineConfig::admission_priority overrides it and boundary
+  // serving; TickPolicy::admission_priority overrides it and boundary
   // mode ignores it (admission there is always FIFO). Base default: FIFO.
   virtual PriorityPolicy AdmissionPriority() const { return PriorityPolicy::kFifo; }
 
@@ -177,31 +232,48 @@ std::vector<RequestId> PrefillingRequests(const RequestPool& pool);
 // --- tick-phase variants of the shared building blocks ---
 
 // Admission ranker of a priority policy: null for kFifo (arrival order),
-// tighter-TPOT-SLO-first for kSloUrgentFirst (ties keep arrival order).
+// tighter-TPOT-SLO-first for the SLO-aware policies (ties keep arrival
+// order).
 RequestPool::AdmissionRanker PriorityRanker(PriorityPolicy policy);
 
 // Evict-for-admission victim selector of a priority policy: null for
 // kFifo (newest-admitted zero-output request, any category), SLO-aware
-// for kSloUrgentFirst — the head may only evict a *prefilling* request
-// whose TPOT SLO is strictly looser than its own, least urgent victims
-// first (newest-admitted breaks ties), so urgent work is never recomputed
-// to admit more urgent work it cannot beat.
+// for kSloUrgentFirst/kSloUrgentPause — the head may only displace a
+// *prefilling* request whose TPOT SLO is strictly looser than its own,
+// least urgent victims first (newest-admitted breaks ties), so urgent
+// work is never displaced to admit more urgent work it cannot beat.
 RequestPool::VictimSelector PriorityVictimSelector(PriorityPolicy policy);
 
-// Boundary admission phase: admission in opts.priority order up to the
-// slot cap. With opts.max_evictions > 0, a queue head blocked on KV may
-// evict victims chosen by the policy (recompute-style) to make room; the
-// eviction count is accumulated into *evicted when non-null.
-int TickAdmitPhase(RequestPool& pool, const TickOptions& opts, int* evicted = nullptr);
+// How an SLO-aware priority policy resolves KV pressure: kSloUrgentPause
+// pauses its victims (progress preserved), everything else recomputes.
+EvictionStyle PriorityEvictionStyle(PriorityPolicy policy);
 
-// Mid-tick admission phase: pulls arrivals due by `t` (via
-// ctx.pull_arrivals, when set) and admits in ctx.tick.priority order.
+// Boundary admission phase: pulls arrivals due by `now` (via
+// ctx.pull_arrivals, when set — idempotent after the engine's own pull)
+// and admits in ctx.tick.priority() order up to the slot cap. With
+// ctx.tick.max_evictions > 0, a queue head blocked on KV may displace
+// victims chosen by the policy — recompute-evicting under
+// kSloUrgentFirst/kFifo, pausing under kSloUrgentPause; the counts are
+// accumulated into *evicted / *paused when non-null.
+int TickAdmitPhase(SimTime now, RequestPool& pool, ServingContext& ctx, int* evicted = nullptr,
+                   int* paused = nullptr);
+
+// Mid-tick admission phase: pulls arrivals due by `now` (via
+// ctx.pull_arrivals, when set) and admits in ctx.tick.priority() order.
 // Requests arriving while the decode phase occupied the GPU join this
 // tick's prefill phase instead of waiting for the next boundary — the
-// admission latency the drain loop could not avoid; under
-// kSloUrgentFirst an urgent arrival additionally jumps every queued
-// non-urgent request.
-int MidTickAdmitPhase(SimTime t, RequestPool& pool, ServingContext& ctx);
+// admission latency the drain loop could not avoid; under the SLO-aware
+// policies an urgent arrival additionally jumps every queued non-urgent
+// request. Same (now, pool, ctx) shape as TickAdmitPhase so the planner
+// stage can call either uniformly.
+int MidTickAdmitPhase(SimTime now, RequestPool& pool, ServingContext& ctx);
+
+// Token budget of the tick's prefill phase, given what phase A consumed:
+// the leftover verification budget, floored at one prefill burst so
+// queued prompts keep making TTFT progress even when decode consumed the
+// whole budget. Shared by the serial tick and the async planner's budget
+// prediction.
+int PrefillPhaseBudget(const ServingContext& ctx, int decode_requests, int verified_tokens);
 
 // Budgeted prefill phase: one chunked-prefill pass over prefilling
 // requests, FIFO by id, spending at most `budget` prompt tokens with at

@@ -1,0 +1,203 @@
+#include "src/serve/tick_pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/spec/verifier.h"
+
+namespace adaserve {
+
+namespace {
+
+PlanCandidate MakeCandidate(const Request& req, long kv_held) {
+  PlanCandidate cand;
+  cand.id = req.id;
+  cand.tpot_slo = req.tpot_slo;
+  cand.prompt_len = req.prompt_len;
+  cand.target_output_len = req.target_output_len;
+  cand.prefill_progress = req.prefill_progress;
+  cand.committed_len = req.committed_len;
+  cand.kv_held = kv_held;
+  return cand;
+}
+
+// Pool/policy scalars shared by the forecast and the actual snapshot;
+// kv_free / active_count / budget are caller-adjusted afterwards.
+TickPlanInput SnapshotBase(const RequestPool& pool, const ServingContext& ctx) {
+  TickPlanInput input;
+  input.active_count = static_cast<int>(pool.active().size());
+  input.kv_free = pool.kv().free_tokens();
+  input.kv_block = pool.kv().block_tokens();
+  input.max_active = ctx.tick.max_active;
+  input.priority = ctx.tick.priority();
+  input.burst = ctx.tick.prefill_burst;
+  input.queued.reserve(pool.queued().size());
+  for (RequestId id : pool.queued()) {
+    input.queued.push_back(MakeCandidate(pool.Get(id), pool.kv().HeldBy(id)));
+  }
+  for (RequestId id : pool.active()) {
+    const Request& req = pool.Get(id);
+    if (req.state == RequestState::kPrefilling) {
+      input.prefilling.push_back(MakeCandidate(req, pool.kv().HeldBy(id)));
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+TickPlanInput SnapshotPlanInput(const RequestPool& pool, const ServingContext& ctx, int budget) {
+  TickPlanInput input = SnapshotBase(pool, ctx);
+  input.budget = budget;
+  return input;
+}
+
+TickPlanInput PredictPlanInput(const RequestPool& pool, const ServingContext& ctx) {
+  TickPlanInput input = SnapshotBase(pool, ctx);
+  // Advance the snapshot by one plain-CB decode iteration: each running
+  // request commits one token; the ones reaching their target finish,
+  // freeing their slot and their whole KV reservation.
+  int running = 0;
+  for (RequestId id : pool.active()) {
+    const Request& req = pool.Get(id);
+    if (req.state != RequestState::kRunning) {
+      continue;
+    }
+    ++running;
+    if (req.committed_len + 1 >= req.target_output_len) {
+      input.kv_free += pool.kv().HeldBy(id);
+      --input.active_count;
+    }
+  }
+  input.budget = PrefillPhaseBudget(ctx, running, /*verified_tokens=*/0);
+  return input;
+}
+
+TickPlan ComputePlan(const TickPlanInput& input) {
+  TickPlan plan;
+  // --- mid-tick admission (mirrors RequestPool::AdmitUpTo) ---
+  std::vector<PlanCandidate> queued = input.queued;
+  std::vector<PlanCandidate> prefill_order = input.prefilling;
+  long kv_free = input.kv_free;
+  int active = input.active_count;
+  const bool fifo = input.priority == PriorityPolicy::kFifo;
+  while (!queued.empty() && active < input.max_active) {
+    // Stable min under the SLO ranker: only a strictly tighter SLO
+    // displaces the head, so ties keep queue order — same scan as
+    // RequestPool::RankedHead under PriorityRanker.
+    size_t head = 0;
+    if (!fifo) {
+      for (size_t i = 1; i < queued.size(); ++i) {
+        if (queued[i].tpot_slo < queued[head].tpot_slo) {
+          head = i;
+        }
+      }
+    }
+    const PlanCandidate cand = queued[head];
+    // Worst-case footprint, block-rounded, charged as the delta over any
+    // reservation the request already holds — KvCache::Reserve semantics.
+    const long footprint = cand.prompt_len + cand.target_output_len;
+    const long rounded = (footprint + input.kv_block - 1) / input.kv_block * input.kv_block;
+    const long delta = rounded - cand.kv_held;
+    if (delta > 0) {
+      if (delta > kv_free) {
+        break;  // Head-of-line KV block: admission stops, no skipping.
+      }
+      kv_free -= delta;
+    }
+    queued.erase(queued.begin() + static_cast<long>(head));
+    ++active;
+    plan.admit.push_back(cand.id);
+    if (cand.prefill_progress < cand.prompt_len) {
+      prefill_order.push_back(cand);  // active_.push_back order.
+    }
+  }
+  // --- budgeted prefill chunking (mirrors RunBudgetedPrefillPhase) ---
+  const int cap = input.burst > 0 ? input.burst : std::numeric_limits<int>::max();
+  for (const PlanCandidate& cand : prefill_order) {
+    if (plan.batch_tokens >= input.budget) {
+      break;
+    }
+    const int remaining = cand.prompt_len - cand.prefill_progress;
+    const int take = std::min({remaining, cap, input.budget - plan.batch_tokens});
+    if (take > 0) {
+      plan.chunks.push_back({cand.id, take, cand.prefill_progress + take >= cand.prompt_len});
+      plan.batch_tokens += take;
+    }
+  }
+  return plan;
+}
+
+IterationRecord ExecutePlannedPrefill(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                      const TickPlan& plan) {
+  IterationRecord record;
+  if (plan.chunks.empty()) {
+    return record;
+  }
+  std::vector<RequestId> ids;
+  ids.reserve(plan.chunks.size());
+  for (const PlannedChunk& chunk : plan.chunks) {
+    ids.push_back(chunk.id);
+  }
+  const SimTime latency =
+      ctx.target_latency->PrefillLatency(plan.batch_tokens, pool.SumContextTokens(ids));
+  const SimTime end = now + latency;
+  for (const PlannedChunk& chunk : plan.chunks) {
+    pool.AdvancePrefill(chunk.id, chunk.tokens);
+    record.prefill_tokens += chunk.tokens;
+    Request& req = pool.Get(chunk.id);
+    if (req.PrefillDone()) {
+      const Token first =
+          DecodeOneToken(*ctx.target, req.stream_seed, req.output, ctx.mode, *ctx.rng);
+      pool.CommitToken(chunk.id, first, end);
+      ++record.committed_tokens;
+    }
+  }
+  record.duration = latency;
+  record.prefill_time = latency;
+  return record;
+}
+
+void TickPlanner::BeginPlan(TickPlanInput input) {
+  ADASERVE_CHECK(!inflight_.has_value()) << "planner already has a plan in flight";
+  predicted_ = std::move(input);
+  ++planned_;
+  // The worker gets its own copy of the snapshot; the tick thread keeps
+  // predicted_ for the reconcile compare. No shared mutable state — the
+  // future's result hand-off is the only synchronization.
+  inflight_ = workers_.Submit([snapshot = predicted_] { return ComputePlan(snapshot); });
+}
+
+bool TickPlanner::Reconcile(SimTime now, RequestPool& pool, ServingContext& ctx, int budget,
+                            int& admitted, IterationRecord& prefill) {
+  if (!inflight_.has_value()) {
+    return false;
+  }
+  TickPlan plan = inflight_->get();
+  inflight_.reset();
+  // Pull arrivals exactly as the serial mid-tick admission would; a pull
+  // that surfaces anything lands in the actual snapshot's queue and
+  // invalidates the plan (and the fallback's re-pull is a no-op).
+  if (ctx.pull_arrivals) {
+    ctx.pull_arrivals(now);
+  }
+  const TickPlanInput actual = SnapshotPlanInput(pool, ctx, budget);
+  if (!(actual == predicted_)) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  for (RequestId id : plan.admit) {
+    // Targeted admission in plan order: the validated snapshot guarantees
+    // the slot and the (delta-charged) reservation both fit.
+    const RequestId got = pool.TryAdmitId(id);
+    ADASERVE_CHECK(got == id) << "validated plan admission failed for " << id;
+  }
+  admitted += static_cast<int>(plan.admit.size());
+  prefill = ExecutePlannedPrefill(now, pool, ctx, plan);
+  return true;
+}
+
+}  // namespace adaserve

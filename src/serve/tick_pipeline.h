@@ -1,0 +1,150 @@
+// Async tick pipeline: the planner stage of a tick-native tick.
+//
+// While phase A (decode) "occupies the GPU" per the latency model, the
+// tick's remaining CPU work — ranking mid-tick admission candidates and
+// packing the prefill phase's chunk budget — is computed on a planner
+// thread against a snapshot of the pool taken at phase-A start. At
+// phase-A end the tick *reconciles*: it re-snapshots the actual pool and
+// applies the precomputed plan only when the prediction still describes
+// reality exactly; any drift (an unpredicted finish, a mid-tick arrival,
+// a speculative decode committing more than one token) falls back to the
+// serial MidTickAdmitPhase + RunBudgetedPrefillPhase. Either way the
+// resulting pool state, RNG draw order, and IterationRecord are
+// byte-identical to the serial tick — the pipeline moves work off the
+// critical path without changing what the tick computes.
+//
+// ComputePlan is a pure function of TickPlanInput (a value snapshot), so
+// the worker thread never touches the pool; the only synchronization is
+// the future joining the plan back into the tick.
+#ifndef ADASERVE_SRC_SERVE_TICK_PIPELINE_H_
+#define ADASERVE_SRC_SERVE_TICK_PIPELINE_H_
+
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/serve/scheduler.h"
+
+namespace adaserve {
+
+// One admission/prefill candidate as the planner sees it: the scalars
+// that determine admissibility (worst-case KV footprint, slot use),
+// ranking (tpot_slo), and chunking (prefill progress). Defaulted equality
+// is what reconciliation compares.
+struct PlanCandidate {
+  RequestId id = kInvalidRequestId;
+  double tpot_slo = 0.0;
+  int prompt_len = 0;
+  int target_output_len = 0;
+  int prefill_progress = 0;
+  int committed_len = 0;
+  // KV already reserved by this request (preempted requests re-admit by
+  // growing an existing reservation; Reserve charges only the delta).
+  long kv_held = 0;
+
+  bool operator==(const PlanCandidate&) const = default;
+};
+
+// Everything the mid-tick admission + prefill phases read, as one value.
+// PredictPlanInput builds the phase-A-start *forecast* of this;
+// SnapshotPlanInput builds the phase-A-end *actual*; operator== deciding
+// plan validity is exactly "did the forecast come true".
+struct TickPlanInput {
+  std::vector<PlanCandidate> queued;      // admission queue, queue order
+  std::vector<PlanCandidate> prefilling;  // kPrefilling requests, active order
+  int active_count = 0;
+  long kv_free = 0;
+  int kv_block = 1;
+  int max_active = 0;
+  PriorityPolicy priority = PriorityPolicy::kFifo;
+  int burst = 0;   // per-request prefill cap (<= 0: uncapped)
+  int budget = 0;  // prefill phase token budget (PrefillPhaseBudget)
+
+  bool operator==(const TickPlanInput&) const = default;
+};
+
+// One precomputed prefill chunk.
+struct PlannedChunk {
+  RequestId id = kInvalidRequestId;
+  int tokens = 0;
+  // Whether this chunk finishes the prompt (the request then commits its
+  // first output token at the phase's end time).
+  bool completes = false;
+};
+
+// The planner's product: which queued requests mid-tick admission takes
+// (in admission order) and how the prefill budget is chunked.
+struct TickPlan {
+  std::vector<RequestId> admit;
+  std::vector<PlannedChunk> chunks;
+  int batch_tokens = 0;
+};
+
+// Snapshot of the actual pool + tick policy, used at reconcile time.
+// `budget` is the actual prefill budget derived from phase A's record.
+TickPlanInput SnapshotPlanInput(const RequestPool& pool, const ServingContext& ctx, int budget);
+
+// Phase-A-start forecast: the snapshot advanced by one continuous-batching
+// decode iteration — every running request commits exactly one token, the
+// ones reaching their target release their KV and free their slot — with
+// the prefill budget predicted from the running count (verified_tokens 0:
+// plain CB submits no speculated tokens). Exact for CB decode phases;
+// speculative or capped decode phases make it miss and the tick falls
+// back, preserving byte-identity.
+TickPlanInput PredictPlanInput(const RequestPool& pool, const ServingContext& ctx);
+
+// Pure planning function: simulates mid-tick admission (stable ranked-head
+// selection, head-of-line KV blocking, block-rounded worst-case
+// reservations, slot cap) and the budgeted-prefill chunk loop against the
+// input snapshot. Mirrors RequestPool::AdmitUpTo + RunBudgetedPrefillPhase
+// decision-for-decision.
+TickPlan ComputePlan(const TickPlanInput& input);
+
+// Applies a validated plan's prefill chunks: one PrefillLatency pass over
+// the chunked requests, advancing prefill and committing first tokens in
+// chunk order — the same operations, RNG draws, and record the serial
+// RunBudgetedPrefillPhase would have produced. Admissions must already be
+// applied.
+IterationRecord ExecutePlannedPrefill(SimTime now, RequestPool& pool, ServingContext& ctx,
+                                      const TickPlan& plan);
+
+// The engine-owned pipeline stage: one planner worker, one in-flight plan.
+class TickPlanner {
+ public:
+  TickPlanner() : workers_(1) {}
+
+  // Launches planning for the tick whose phase A starts now. `input`
+  // should be PredictPlanInput's forecast. One plan may be in flight at a
+  // time (the tick always reconciles before the next BeginPlan).
+  void BeginPlan(TickPlanInput input);
+
+  // Phase-A-end reconciliation. Pulls arrivals due by `now` (exactly as
+  // the serial mid-tick admission would), joins the in-flight plan, and
+  // compares the actual pool snapshot (with `budget`, the actual prefill
+  // budget) against the forecast. On a hit the plan is applied — targeted
+  // admissions in plan order, then the precomputed prefill pass —
+  // `admitted` is bumped by the plan's admissions, `prefill` receives the
+  // prefill record, and true is returned. On a miss nothing is applied
+  // and false is returned; the caller runs the serial phases (the
+  // arrivals pull is idempotent). Returns false if no plan is in flight.
+  bool Reconcile(SimTime now, RequestPool& pool, ServingContext& ctx, int budget, int& admitted,
+                 IterationRecord& prefill);
+
+  // Pipeline effectiveness counters (EngineResult surfaces these).
+  long planned() const { return planned_; }
+  long hits() const { return hits_; }
+  long misses() const { return misses_; }
+
+ private:
+  ThreadPool workers_;
+  TickPlanInput predicted_;
+  std::optional<std::future<TickPlan>> inflight_;
+  long planned_ = 0;
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+}  // namespace adaserve
+
+#endif  // ADASERVE_SRC_SERVE_TICK_PIPELINE_H_

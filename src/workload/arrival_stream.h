@@ -12,6 +12,8 @@
 #define ADASERVE_SRC_WORKLOAD_ARRIVAL_STREAM_H_
 
 #include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/workload/request.h"
@@ -53,6 +55,29 @@ class MaterializedStream final : public ArrivalStream {
  private:
   std::vector<Request> requests_;
   size_t pos_ = 0;
+};
+
+// A workload handed to an engine/experiment Run: either a borrowed live
+// ArrivalStream (lazy, streaming) or an owned request vector adapted via
+// MaterializedStream (the classic pre-built trace). The implicit
+// conversions unify what used to be two separate Run overloads — every
+// historical call site compiles against the one WorkloadSource signature.
+class WorkloadSource {
+ public:
+  // Owned trace: `requests` must be sorted by arrival time.
+  WorkloadSource(std::vector<Request> requests)  // NOLINT(google-explicit-constructor)
+      : owned_(std::make_unique<MaterializedStream>(std::move(requests))),
+        stream_(owned_.get()) {}
+
+  // Borrowed live stream; must outlive the Run call.
+  WorkloadSource(ArrivalStream& stream)  // NOLINT(google-explicit-constructor)
+      : stream_(&stream) {}
+
+  ArrivalStream& stream() const { return *stream_; }
+
+ private:
+  std::unique_ptr<MaterializedStream> owned_;
+  ArrivalStream* stream_;
 };
 
 // Drains up to `max_requests` requests into a vector. Useful for tests

@@ -15,6 +15,10 @@ enum class RequestState {
   kPrefilling,
   // Decoding output tokens.
   kRunning,
+  // Paused mid-prefill by a preemptive eviction (KV swapped out, prefill
+  // progress preserved); waits in the admission queue and resumes where
+  // it left off on re-admission.
+  kPaused,
   // All output tokens committed.
   kFinished,
 };

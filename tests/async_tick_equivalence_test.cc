@@ -1,0 +1,168 @@
+// Async tick pipeline equivalence proof — the planner-stage analogue of
+// tick_equivalence_test.
+//
+// The async pipeline (TickPolicy::Async / AsyncTickConfig) plans each
+// tick's mid-tick admission and prefill chunking on a planner thread
+// while the decode phase "occupies the GPU", then reconciles the plan
+// against the actual pool at phase-A end. The pipeline is an
+// implementation overlap, not a schedule change, so every observable —
+// the canonical GoldenMetricsText bytes, end time, iteration count —
+// must be identical to the serial tick on the full pinned golden corpus
+// (every MainComparisonSet system x 3 scenarios x 2 golden modes). The
+// suite also pins the planner's effectiveness (plans must actually be
+// produced and hit under continuous batching, not silently fall back to
+// the serial path every tick) and the parallel-harness composition
+// (async cells under SweepRunner threads=4 ≡ threads=1, which is what
+// the TSan CI job exercises for cross-thread safety).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+struct GoldenCase {
+  GoldenScenario scenario;
+  GoldenMode mode;
+};
+
+std::vector<GoldenCase> GoldenCorpus() {
+  return {
+      {GoldenScenario::kRealTrace, GoldenMode::kTickNative},
+      {GoldenScenario::kBursty, GoldenMode::kTickNative},
+      {GoldenScenario::kDiurnal, GoldenMode::kTickNative},
+      {GoldenScenario::kRealTrace, GoldenMode::kBoundary},
+      {GoldenScenario::kBursty, GoldenMode::kBoundary},
+      {GoldenScenario::kDiurnal, GoldenMode::kBoundary},
+  };
+}
+
+// RunGoldenSystem with the planner toggled: same scheduler, same
+// canonical workload, same mode config, plus tick.async_planner.
+EngineResult RunGoldenCase(const Experiment& exp, SystemKind kind, const GoldenCase& c,
+                           bool async) {
+  auto scheduler = MakeScheduler(kind);
+  const GoldenConfig config;
+  EngineConfig engine =
+      c.mode == GoldenMode::kBoundary ? BoundaryTickConfig() : EngineConfig{};
+  engine.tick.async_planner = async;
+  engine.sampling_seed = config.sampling_seed;
+  if (c.scenario == GoldenScenario::kRealTrace) {
+    return exp.Run(*scheduler, GoldenWorkload(exp, config), engine);
+  }
+  engine.retire_finished = true;
+  auto stream = MakeGoldenStream(exp, c.scenario, config);
+  return exp.Run(*scheduler, *stream, engine);
+}
+
+class AsyncTickEquivalence : public ::testing::TestWithParam<SystemKind> {};
+
+// The core byte-identity proof: the async pipeline reproduces the serial
+// tick exactly on every pinned golden corpus point.
+TEST_P(AsyncTickEquivalence, PlannerPipelineByteIdenticalToSerialOnGoldenCorpus) {
+  const SystemKind kind = GetParam();
+  Experiment exp(GoldenSetup());
+  for (const GoldenCase& c : GoldenCorpus()) {
+    SCOPED_TRACE(GoldenModePrefix(c.mode) + GoldenScenarioPrefix(c.scenario) +
+                 std::string(SystemName(kind)));
+    const EngineResult serial = RunGoldenCase(exp, kind, c, /*async=*/false);
+    const EngineResult async = RunGoldenCase(exp, kind, c, /*async=*/true);
+    EXPECT_EQ(GoldenMetricsText(kind, serial.metrics), GoldenMetricsText(kind, async.metrics));
+    EXPECT_EQ(serial.end_time, async.end_time);
+    EXPECT_EQ(serial.total_iterations, async.total_iterations);
+    EXPECT_EQ(serial.metrics.admissions, async.metrics.admissions);
+    EXPECT_EQ(serial.metrics.evictions, async.metrics.evictions);
+    // Serial runs never instantiate the planner.
+    EXPECT_EQ(serial.plan_hits + serial.plan_misses, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MainComparisonSet, AsyncTickEquivalence,
+                         ::testing::ValuesIn(MainComparisonSet()),
+                         [](const ::testing::TestParamInfo<SystemKind>& info) {
+                           std::string name(SystemName(info.param));
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Byte-identity must not come from planning nothing: under continuous
+// batching the speculative plan has to be produced every tick and hit on
+// the (deterministic) golden trace most of the time — a planner that
+// always missed would degenerate to serial-with-extra-threads.
+TEST(AsyncTickPlanner, PlansEveryContinuousTickAndMostlyHits) {
+  Experiment exp(GoldenSetup());
+  const GoldenCase tick_native{GoldenScenario::kRealTrace, GoldenMode::kTickNative};
+  const EngineResult result =
+      RunGoldenCase(exp, SystemKind::kVllm, tick_native, /*async=*/true);
+  EXPECT_EQ(result.planned_ticks, result.plan_hits + result.plan_misses);
+  EXPECT_GT(result.planned_ticks, 0);
+  EXPECT_GT(result.plan_hits, 0);
+  // Misses happen exactly when the forecast diverges (mid-tick arrivals,
+  // early finishes); on this corpus the hit path must dominate.
+  EXPECT_GT(result.plan_hits, result.plan_misses);
+}
+
+// Boundary mode neutralizes the planner (ResolvedFor strips
+// async_planner along with the other continuous-only knobs): asking for
+// async at the boundary is the exact serial legacy loop, no plans made.
+TEST(AsyncTickPlanner, BoundaryModeNeutralizesThePlanner) {
+  Experiment exp(GoldenSetup());
+  const GoldenCase boundary{GoldenScenario::kRealTrace, GoldenMode::kBoundary};
+  const EngineResult result =
+      RunGoldenCase(exp, SystemKind::kVllm, boundary, /*async=*/true);
+  EXPECT_EQ(result.planned_ticks, 0);
+  EXPECT_EQ(result.plan_hits, 0);
+  EXPECT_EQ(result.plan_misses, 0);
+}
+
+// AsyncTickConfig is the tick-native default plus the planner — nothing
+// else may drift, or the equivalence proof above tests the wrong config.
+TEST(AsyncTickPlanner, AsyncTickConfigIsContinuousPlusPlanner) {
+  EngineConfig async = AsyncTickConfig();
+  EXPECT_TRUE(async.tick.async_planner);
+  async.tick.async_planner = false;
+  const EngineConfig defaults;
+  EXPECT_EQ(async.tick.max_active, defaults.tick.max_active);
+  EXPECT_EQ(async.tick.continuous, defaults.tick.continuous);
+  EXPECT_EQ(async.tick.prefill_burst, defaults.tick.prefill_burst);
+  EXPECT_EQ(async.tick.max_evictions, defaults.tick.max_evictions);
+  EXPECT_EQ(async.tick.admission_priority, defaults.tick.admission_priority);
+  EXPECT_EQ(async.tick.event_driven, defaults.tick.event_driven);
+}
+
+// Async cells composed with the parallel harness: each worker thread
+// spins up its own planner thread, so threads=4 runs 8 threads total.
+// Results must stay byte-identical to the serial sweep — this is the
+// case the TSan CI job drives to prove the planner handoff race-free.
+TEST(AsyncTickPlanner, ParallelHarnessThreads4ByteIdenticalToThreads1) {
+  Experiment exp(GoldenSetup());
+  const auto make_stream = [&exp] {
+    return MakeGoldenStream(exp, GoldenScenario::kBursty);
+  };
+  EngineConfig engine = AsyncTickConfig();
+  engine.retire_finished = true;
+  const std::vector<ComparisonPoint> serial =
+      RunComparison(exp, MainComparisonSet(), make_stream, engine, /*threads=*/1);
+  const std::vector<ComparisonPoint> parallel =
+      RunComparison(exp, MainComparisonSet(), make_stream, engine, /*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].kind, parallel[i].kind);
+    EXPECT_EQ(GoldenMetricsText(serial[i].kind, serial[i].result.metrics),
+              GoldenMetricsText(parallel[i].kind, parallel[i].result.metrics))
+        << SystemName(serial[i].kind);
+    EXPECT_EQ(serial[i].result.end_time, parallel[i].result.end_time);
+    EXPECT_EQ(serial[i].result.total_iterations, parallel[i].result.total_iterations);
+  }
+}
+
+}  // namespace
+}  // namespace adaserve

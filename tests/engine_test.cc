@@ -255,7 +255,7 @@ TEST_F(EngineTest, NextEventSkipMatchesPerTickLoopByteForByte) {
   // gap costs one loop iteration either way.
   const std::vector<Request> workload = UniformWorkload(exp_, 12, 1, 30.0);
   EngineConfig per_tick;
-  per_tick.event_driven = false;
+  per_tick.tick.event_driven = false;
   const EngineConfig event_driven;  // Default: event_driven = true.
 
   AdaServeScheduler s1;

@@ -50,7 +50,7 @@ TEST_P(ServingProperties, InvariantsHoldEndToEnd) {
   // priority in tick-native mode (SLO-aware for AdaServe), FIFO at the
   // boundary — so the invariants also cover ranked admission and the
   // SLO-aware eviction path.
-  ctx.tick.priority =
+  ctx.tick.admission_priority =
       continuous ? scheduler->AdmissionPriority() : PriorityPolicy::kFifo;
 
   SimTime now = 0.0;

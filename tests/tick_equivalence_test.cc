@@ -65,9 +65,9 @@ TEST_P(TickEquivalence, ContinuousModeServesEverything) {
   // bounded evict-for-admission budget (literals, so a silent default
   // regression cannot hide behind ContinuousTickConfig ≡ EngineConfig{}).
   const EngineConfig defaults;
-  EXPECT_TRUE(defaults.continuous_ticks);
-  EXPECT_EQ(defaults.max_evictions_per_tick, 4);
-  EXPECT_FALSE(defaults.admission_priority.has_value());
+  EXPECT_TRUE(defaults.tick.continuous);
+  EXPECT_EQ(defaults.tick.max_evictions, 4);
+  EXPECT_FALSE(defaults.tick.admission_priority.has_value());
   EngineConfig engine;
   engine.sampling_seed = config.sampling_seed;
 

@@ -49,6 +49,17 @@ Request CategorizedRequest(RequestId id, int category, double tpot_slo, int prom
 constexpr double kUrgentSlo = 0.02;
 constexpr double kRelaxedSlo = 0.15;
 
+// Minimal ServingContext for exercising the admission phases directly:
+// only the tick policy matters to them (no models, no arrival stream).
+// max_evictions defaults to 0 so admission-only tests cannot evict.
+ServingContext AdmitContext(int max_active, PriorityPolicy policy, int max_evictions = 0) {
+  ServingContext ctx;
+  ctx.tick.max_active = max_active;
+  ctx.tick.admission_priority = policy;
+  ctx.tick.max_evictions = max_evictions;
+  return ctx;
+}
+
 TEST(PriorityAdmission, SloRankerAdmitsUrgentBeforeEarlierRelaxedArrivals) {
   KvCache kv(10000.0, 1.0, 16);
   RequestPool pool(&kv);
@@ -57,10 +68,9 @@ TEST(PriorityAdmission, SloRankerAdmitsUrgentBeforeEarlierRelaxedArrivals) {
   pool.AddArrival(CategorizedRequest(1, kCatSummarization, kRelaxedSlo));
   pool.AddArrival(CategorizedRequest(2, kCatCoding, kUrgentSlo));
 
-  TickOptions opts;
-  opts.max_active = 1;  // One slot: admission order is observable.
-  opts.priority = PriorityPolicy::kSloUrgentFirst;
-  EXPECT_EQ(TickAdmitPhase(pool, opts), 1);
+  ServingContext ctx = AdmitContext(/*max_active=*/1,  // One slot: order is observable.
+                                    PriorityPolicy::kSloUrgentFirst);
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx), 1);
   EXPECT_EQ(pool.active().front(), 2) << "urgent arrival must jump the queue";
   // FIFO would have admitted the oldest relaxed request instead.
   EXPECT_EQ(pool.Get(0).state, RequestState::kQueued);
@@ -72,10 +82,8 @@ TEST(PriorityAdmission, FifoPolicyKeepsArrivalOrder) {
   pool.AddArrival(CategorizedRequest(0, kCatSummarization, kRelaxedSlo));
   pool.AddArrival(CategorizedRequest(1, kCatCoding, kUrgentSlo));
 
-  TickOptions opts;
-  opts.max_active = 1;
-  opts.priority = PriorityPolicy::kFifo;
-  EXPECT_EQ(TickAdmitPhase(pool, opts), 1);
+  ServingContext ctx = AdmitContext(/*max_active=*/1, PriorityPolicy::kFifo);
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx), 1);
   EXPECT_EQ(pool.active().front(), 0);
 }
 
@@ -85,10 +93,8 @@ TEST(PriorityAdmission, EqualSlosBreakTiesByArrivalOrder) {
   pool.AddArrival(CategorizedRequest(0, kCatChat, kUrgentSlo));
   pool.AddArrival(CategorizedRequest(1, kCatChat, kUrgentSlo));
 
-  TickOptions opts;
-  opts.max_active = 1;
-  opts.priority = PriorityPolicy::kSloUrgentFirst;
-  EXPECT_EQ(TickAdmitPhase(pool, opts), 1);
+  ServingContext ctx = AdmitContext(/*max_active=*/1, PriorityPolicy::kSloUrgentFirst);
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx), 1);
   EXPECT_EQ(pool.active().front(), 0) << "ranked admission must be stable";
 }
 
@@ -171,12 +177,10 @@ TEST(SloAwareEviction, EvictionBudgetSmallerThanVictimSetStopsEarly) {
   pool.AddArrival(CategorizedRequest(2, kCatCoding, kUrgentSlo, /*prompt_len=*/40,
                                      /*output_len=*/8));
 
-  TickOptions opts;
-  opts.max_active = 10;
-  opts.max_evictions = 1;
-  opts.priority = PriorityPolicy::kSloUrgentFirst;
+  ServingContext ctx = AdmitContext(/*max_active=*/10, PriorityPolicy::kSloUrgentFirst,
+                                    /*max_evictions=*/1);
   int evicted = 0;
-  const int admitted = TickAdmitPhase(pool, opts, &evicted);
+  const int admitted = TickAdmitPhase(0.0, pool, ctx, &evicted);
   EXPECT_EQ(admitted, 0) << "one eviction frees too little KV for the head";
   EXPECT_EQ(evicted, 1) << "budget caps evictions below the victim set";
   // Head still queued, in front of the one evicted victim.
@@ -185,7 +189,7 @@ TEST(SloAwareEviction, EvictionBudgetSmallerThanVictimSetStopsEarly) {
   EXPECT_EQ(pool.queued()[1], 1);
   // Next tick, with a fresh eviction budget, the head gets in.
   evicted = 0;
-  EXPECT_EQ(TickAdmitPhase(pool, opts, &evicted), 1);
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx, &evicted), 1);
   EXPECT_EQ(evicted, 1);
   EXPECT_EQ(pool.Get(2).state, RequestState::kPrefilling);
 }
@@ -203,12 +207,10 @@ TEST(SloAwareEviction, VictimsReadmitInArrivalOrderBehindUrgentHead) {
                                      /*output_len=*/20));  // 80 tokens: needs both slots
   ASSERT_EQ(pool.AdmitUpTo(10), 2);
 
-  TickOptions opts;
-  opts.max_active = 10;
-  opts.max_evictions = 4;
-  opts.priority = PriorityPolicy::kSloUrgentFirst;
+  ServingContext ctx = AdmitContext(/*max_active=*/10, PriorityPolicy::kSloUrgentFirst,
+                                    /*max_evictions=*/4);
   int evicted = 0;
-  EXPECT_EQ(TickAdmitPhase(pool, opts, &evicted), 1);
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx, &evicted), 1);
   EXPECT_EQ(evicted, 2);
   EXPECT_EQ(pool.Get(2).state, RequestState::kPrefilling);
   // Victims wait in arrival order.
@@ -226,6 +228,103 @@ TEST(SloAwareEviction, VictimsReadmitInArrivalOrderBehindUrgentHead) {
   ASSERT_EQ(pool.active().size(), 2u);
   EXPECT_EQ(pool.active()[0], 0) << "victims re-admit in arrival order";
   EXPECT_EQ(pool.active()[1], 1);
+}
+
+// --- preemptive (pause-style) eviction ---
+
+TEST(PreemptivePause, PauseKeepsPrefillProgressAndResumesWhereItLeftOff) {
+  KvCache kv(64.0, 1.0, 16);
+  RequestPool pool(&kv);
+  pool.AddArrival(CategorizedRequest(0, kCatSummarization, kRelaxedSlo));
+  ASSERT_EQ(pool.AdmitUpTo(10), 1);
+  pool.AdvancePrefill(0, 12);  // Mid-prefill: 12 of 20 prompt tokens done.
+  ASSERT_GT(kv.used_tokens(), 0);
+
+  pool.Pause(0);
+  EXPECT_EQ(pool.Get(0).state, RequestState::kPaused);
+  EXPECT_EQ(pool.Get(0).prefill_progress, 12) << "pause must keep prompt work";
+  EXPECT_EQ(kv.used_tokens(), 0) << "pause swaps the KV out";
+  EXPECT_EQ(pool.queued().front(), 0) << "paused request waits at the queue front";
+
+  // Re-admission resumes prefilling from token 12 — recompute would have
+  // restarted from 0.
+  EXPECT_EQ(pool.TryAdmit(10), 0);
+  EXPECT_EQ(pool.Get(0).state, RequestState::kPrefilling);
+  EXPECT_EQ(pool.Get(0).prefill_progress, 12) << "resume where it left off";
+  pool.AdvancePrefill(0, 8);
+  EXPECT_TRUE(pool.Get(0).PrefillDone()) << "only the remaining 8 tokens were owed";
+}
+
+TEST(PreemptivePause, UrgentHeadPausesLeastUrgentVictimUnderPausePolicy) {
+  // Same KV-pressure shape as the recompute-eviction test, but under
+  // kSloUrgentPause: the victim is paused, not recomputed, and the tick
+  // counts it as paused rather than evicted.
+  KvCache kv(64.0, 1.0, 16);
+  RequestPool pool(&kv);
+  pool.AddArrival(CategorizedRequest(0, kCatChat, 0.05));
+  pool.AddArrival(CategorizedRequest(1, kCatSummarization, kRelaxedSlo));
+  ASSERT_EQ(pool.AdmitUpTo(10), 2);
+  pool.AdvancePrefill(1, 8);  // The future victim has partial prompt work.
+  pool.AddArrival(CategorizedRequest(2, kCatCoding, kUrgentSlo));
+
+  ServingContext ctx = AdmitContext(/*max_active=*/10, PriorityPolicy::kSloUrgentPause,
+                                    /*max_evictions=*/2);
+  int evicted = 0;
+  int paused = 0;
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx, &evicted, &paused), 1);
+  EXPECT_EQ(evicted, 0) << "pause policy never recompute-evicts";
+  EXPECT_EQ(paused, 1);
+  EXPECT_EQ(pool.Get(2).state, RequestState::kPrefilling) << "urgent head got in";
+  // The loosest-SLO prefilling victim was paused with its progress intact.
+  EXPECT_EQ(pool.Get(1).state, RequestState::kPaused);
+  EXPECT_EQ(pool.Get(1).prefill_progress, 8) << "no prompt work was lost";
+  EXPECT_EQ(pool.Get(0).state, RequestState::kPrefilling) << "tighter-SLO peer untouched";
+}
+
+TEST(PreemptivePause, PauseBudgetCapsLikeEvictionsAndVictimsResume) {
+  // The urgent head needs both relaxed prefills' KV (48 of 64 tokens) but
+  // the per-tick budget allows one pause; the next tick finishes the job
+  // and both victims later resume with their progress intact.
+  KvCache kv(64.0, 1.0, 16);
+  RequestPool pool(&kv);
+  pool.AddArrival(CategorizedRequest(0, kCatSummarization, kRelaxedSlo));
+  pool.AddArrival(CategorizedRequest(1, kCatSummarization, kRelaxedSlo));
+  ASSERT_EQ(pool.AdmitUpTo(10), 2);
+  pool.AdvancePrefill(0, 6);
+  pool.AdvancePrefill(1, 10);
+  pool.AddArrival(CategorizedRequest(2, kCatCoding, kUrgentSlo, /*prompt_len=*/40,
+                                     /*output_len=*/8));
+
+  ServingContext ctx = AdmitContext(/*max_active=*/10, PriorityPolicy::kSloUrgentPause,
+                                    /*max_evictions=*/1);
+  int evicted = 0;
+  int paused = 0;
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx, &evicted, &paused), 0)
+      << "one pause frees too little KV for the head";
+  EXPECT_EQ(paused, 1) << "the eviction budget caps pauses identically";
+  EXPECT_EQ(evicted, 0);
+  paused = 0;
+  EXPECT_EQ(TickAdmitPhase(0.0, pool, ctx, &evicted, &paused), 1);
+  EXPECT_EQ(paused, 1);
+  EXPECT_EQ(pool.Get(2).state, RequestState::kPrefilling);
+  // Both victims paused, each with its own partial progress preserved.
+  EXPECT_EQ(pool.Get(0).state, RequestState::kPaused);
+  EXPECT_EQ(pool.Get(0).prefill_progress, 6);
+  EXPECT_EQ(pool.Get(1).state, RequestState::kPaused);
+  EXPECT_EQ(pool.Get(1).prefill_progress, 10);
+  // Drain the urgent request; the victims resume behind it and finish
+  // their prompts having prefilled exactly prompt_len tokens in total.
+  pool.Get(2).prefill_progress = 40;
+  pool.Get(2).state = RequestState::kRunning;
+  for (int i = 0; i < 8; ++i) {
+    pool.CommitToken(2, 1, 0.5 + 0.01 * i);
+  }
+  ASSERT_EQ(pool.Get(2).state, RequestState::kFinished);
+  EXPECT_EQ(pool.AdmitUpTo(10, PriorityRanker(PriorityPolicy::kSloUrgentPause)), 2);
+  EXPECT_EQ(pool.Get(0).state, RequestState::kPrefilling);
+  EXPECT_EQ(pool.Get(0).prefill_progress, 6);
+  pool.AdvancePrefill(0, 14);  // 6 + 14 == 20: only the remainder is owed.
+  EXPECT_TRUE(pool.Get(0).PrefillDone());
 }
 
 // --- tick edge cases ---
@@ -271,7 +370,7 @@ TEST_F(TickEdgeCaseTest, UrgentArrivalExactlyOnPhaseBoundaryJoinsSameTick) {
     }
     return pulled;
   };
-  ctx_.tick.priority = PriorityPolicy::kSloUrgentFirst;
+  ctx_.tick.admission_priority = PriorityPolicy::kSloUrgentFirst;
   ctx_.tick.prefill_burst = 16;
   ctx_.verify_budget = 64;
   const TickResult tick = RunContinuousTick(
@@ -308,7 +407,7 @@ TEST_F(TickEdgeCaseTest, PrefillBurstZeroMeansUncappedPerRequest) {
 
 TEST_F(TickEdgeCaseTest, PrefillBurstZeroDrainsEndToEnd) {
   EngineConfig engine;
-  engine.prefill_burst = 0;
+  engine.tick.prefill_burst = 0;
   VllmScheduler scheduler;
   const std::vector<Request> workload = SmallMixedWorkload(exp_);
   const EngineResult result = exp_.Run(scheduler, workload, engine);
@@ -339,8 +438,8 @@ class PriorityPolicyEngineTest : public ::testing::Test {
 
   EngineResult RunWithPolicy(Scheduler& scheduler, PriorityPolicy policy) const {
     EngineConfig engine;
-    engine.max_active_requests = 8;  // Small slot cap: queueing dominates.
-    engine.admission_priority = policy;
+    engine.tick.max_active = 8;  // Small slot cap: queueing dominates.
+    engine.tick.admission_priority = policy;
     auto stream = BurstyMixedStream();
     return exp_.Run(scheduler, *stream, engine);
   }
@@ -379,7 +478,7 @@ TEST_F(PriorityPolicyEngineTest, SchedulerDefaultsResolveWhenConfigUnset) {
   const EngineResult ada_a = exp_.Run(ada_default, workload);
   AdaServeScheduler ada_forced;
   EngineConfig force_slo;
-  force_slo.admission_priority = PriorityPolicy::kSloUrgentFirst;
+  force_slo.tick.admission_priority = PriorityPolicy::kSloUrgentFirst;
   const EngineResult ada_b = exp_.Run(ada_forced, workload, force_slo);
   EXPECT_EQ(GoldenMetricsText(SystemKind::kAdaServe, ada_a.metrics),
             GoldenMetricsText(SystemKind::kAdaServe, ada_b.metrics));
@@ -388,7 +487,7 @@ TEST_F(PriorityPolicyEngineTest, SchedulerDefaultsResolveWhenConfigUnset) {
   const EngineResult vllm_a = exp_.Run(vllm_default, workload);
   VllmScheduler vllm_forced;
   EngineConfig force_fifo;
-  force_fifo.admission_priority = PriorityPolicy::kFifo;
+  force_fifo.tick.admission_priority = PriorityPolicy::kFifo;
   const EngineResult vllm_b = exp_.Run(vllm_forced, workload, force_fifo);
   EXPECT_EQ(GoldenMetricsText(SystemKind::kVllm, vllm_a.metrics),
             GoldenMetricsText(SystemKind::kVllm, vllm_b.metrics));
@@ -403,19 +502,19 @@ TEST_F(PriorityPolicyEngineTest, BoundaryModeIgnoresPriorityPolicy) {
   const EngineResult plain = exp_.Run(s1, workload, BoundaryTickConfig());
   VllmScheduler s2;
   EngineConfig forced = BoundaryTickConfig();
-  forced.admission_priority = PriorityPolicy::kSloUrgentFirst;
+  forced.tick.admission_priority = PriorityPolicy::kSloUrgentFirst;
   const EngineResult with_priority = exp_.Run(s2, workload, forced);
   EXPECT_EQ(GoldenMetricsText(SystemKind::kVllm, plain.metrics),
             GoldenMetricsText(SystemKind::kVllm, with_priority.metrics));
   EXPECT_EQ(plain.end_time, with_priority.end_time);
 
-  // Flipping only continuous_ticks off — leaving the now-default
+  // Flipping only tick.continuous off — leaving the now-default
   // eviction budget and any priority default in place — must be the
   // same legacy path as the full BoundaryTickConfig(): the engine
   // neutralizes every tick-native knob at the boundary.
   VllmScheduler s3;
   EngineConfig hand_rolled;
-  hand_rolled.continuous_ticks = false;
+  hand_rolled.tick.continuous = false;
   const EngineResult minimal = exp_.Run(s3, workload, hand_rolled);
   EXPECT_EQ(GoldenMetricsText(SystemKind::kVllm, plain.metrics),
             GoldenMetricsText(SystemKind::kVllm, minimal.metrics));
