@@ -158,17 +158,20 @@ int main(int argc, char** argv) {
       ++regressions;
       continue;
     }
-    // Wall-clock rows are lower-is-better; flip the sign so "worse" is
-    // always a negative delta, and use the loose time tolerances.
+    // Wall-clock rows are lower-is-better and noisy, so they flip the
+    // sign AND use the loose time tolerances. recovery_s (flash-crowd
+    // recovery time to SLO) is lower-is-better too, but deterministic —
+    // flipped sign, strict tolerances.
     const bool is_time = base.metric == "wall_clock_s";
+    const bool lower_is_better = is_time || base.metric == "recovery_s";
     const double slack = is_time
                              ? std::max(time_abs_tol, time_rel_tol * std::fabs(base.value))
                              : std::max(abs_tol, rel_tol * std::fabs(base.value));
-    const double delta = (cand->value - base.value) * (is_time ? -1.0 : 1.0);
+    const double delta = (cand->value - base.value) * (lower_is_better ? -1.0 : 1.0);
     if (delta < -slack) {
       std::printf("REGRESSION %s: %.3f -> %.3f (%.3f %s tolerance %.3f)\n",
                   RowKey(base).c_str(), base.value, cand->value, -delta,
-                  is_time ? "slower than" : "below", slack);
+                  is_time ? "slower than" : (lower_is_better ? "worse than" : "below"), slack);
       ++regressions;
     } else if (delta > slack) {
       ++improvements;

@@ -61,6 +61,18 @@ std::string_view SystemName(SystemKind kind) {
   return "?";
 }
 
+std::optional<SystemKind> SystemKindFromName(std::string_view name) {
+  for (SystemKind kind :
+       {SystemKind::kAdaServe, SystemKind::kVllm, SystemKind::kSarathi, SystemKind::kVllmSpec4,
+        SystemKind::kVllmSpec6, SystemKind::kVllmSpec8, SystemKind::kVllmPriority,
+        SystemKind::kFastServe, SystemKind::kVtc}) {
+    if (SystemName(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<SystemKind> MainComparisonSet() {
   return {SystemKind::kAdaServe,   SystemKind::kSarathi,   SystemKind::kVllm,
           SystemKind::kVllmSpec4,  SystemKind::kVllmSpec6, SystemKind::kVllmSpec8};

@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +27,10 @@ enum class SystemKind {
 
 std::unique_ptr<Scheduler> MakeScheduler(SystemKind kind);
 std::string_view SystemName(SystemKind kind);
+
+// Inverse of SystemName (exact match); nullopt for an unknown name. The
+// replay harness resolves recorded artifacts' system field through this.
+std::optional<SystemKind> SystemKindFromName(std::string_view name);
 
 // Systems of the end-to-end comparison (Figs. 8-12, 14):
 // AdaServe, Sarathi-Serve, vLLM, vLLM-Spec(4/6/8).

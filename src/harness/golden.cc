@@ -41,8 +41,47 @@ std::string GoldenScenarioPrefix(GoldenScenario scenario) {
       return "bursty_";
     case GoldenScenario::kDiurnal:
       return "diurnal_";
+    case GoldenScenario::kFlashCrowd:
+      return "flash_";
+    case GoldenScenario::kTenantFlood:
+      return "flood_";
+    case GoldenScenario::kLongPromptPoison:
+      return "hol_";
+    case GoldenScenario::kCorrelatedBursts:
+      return "corr_";
   }
   return "";
+}
+
+std::string GoldenCell::Filename() const {
+  return GoldenModePrefix(mode) + GoldenScenarioPrefix(scenario) + GoldenFileSlug(kind) + ".txt";
+}
+
+std::vector<GoldenCell> AllGoldenCells() {
+  std::vector<GoldenCell> cells;
+  const std::vector<SystemKind> systems = MainComparisonSet();
+  // The historical corpus: both modes across the original scenarios.
+  for (GoldenScenario scenario :
+       {GoldenScenario::kRealTrace, GoldenScenario::kBursty, GoldenScenario::kDiurnal}) {
+    for (GoldenMode mode : {GoldenMode::kTickNative, GoldenMode::kBoundary}) {
+      for (SystemKind kind : systems) {
+        cells.push_back({kind, scenario, mode});
+      }
+    }
+  }
+  // The stress corpus: tick-native only (the boundary corpus is the
+  // frozen legacy reference).
+  for (GoldenScenario scenario :
+       {GoldenScenario::kFlashCrowd, GoldenScenario::kTenantFlood,
+        GoldenScenario::kLongPromptPoison, GoldenScenario::kCorrelatedBursts}) {
+    for (SystemKind kind : systems) {
+      cells.push_back({kind, scenario, GoldenMode::kTickNative});
+    }
+  }
+  // VTC under the adversarial flood: the fair-queuing baseline the flood
+  // scenario exists to stress.
+  cells.push_back({SystemKind::kVtc, GoldenScenario::kTenantFlood, GoldenMode::kTickNative});
+  return cells;
 }
 
 std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenScenario scenario,
@@ -70,6 +109,18 @@ std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenSce
       diurnal.trace_seed = config.trace_seed;
       return MakeDiurnalStream(exp.Categories(), diurnal);
     }
+    case GoldenScenario::kFlashCrowd:
+      return MakeStressStream(exp.Categories(), StressScenario::kFlashCrowd, config.duration_s,
+                              config.trace_seed);
+    case GoldenScenario::kTenantFlood:
+      return MakeStressStream(exp.Categories(), StressScenario::kTenantFlood, config.duration_s,
+                              config.trace_seed);
+    case GoldenScenario::kLongPromptPoison:
+      return MakeStressStream(exp.Categories(), StressScenario::kLongPromptPoison,
+                              config.duration_s, config.trace_seed);
+    case GoldenScenario::kCorrelatedBursts:
+      return MakeStressStream(exp.Categories(), StressScenario::kCorrelatedBursts,
+                              config.duration_s, config.trace_seed);
     case GoldenScenario::kRealTrace:
       break;
   }
@@ -82,20 +133,27 @@ std::vector<Request> GoldenWorkload(const Experiment& exp, const GoldenConfig& c
                                config.trace_seed);
 }
 
+EngineConfig GoldenEngineConfig(const GoldenConfig& config, GoldenScenario scenario,
+                                GoldenMode mode) {
+  // kTickNative is EngineConfig{} — the serving default the tick_ corpus
+  // pins; kBoundary reproduces the legacy drain loop and its corpus.
+  EngineConfig engine = mode == GoldenMode::kBoundary ? BoundaryTickConfig() : EngineConfig{};
+  engine.sampling_seed = config.sampling_seed;
+  if (scenario != GoldenScenario::kRealTrace) {
+    // Streaming scenarios exercise the full lazy path: bounded arrival
+    // horizon, incremental metrics, finished-request retirement.
+    engine.retire_finished = true;
+  }
+  return engine;
+}
+
 EngineResult RunGoldenSystem(const Experiment& exp, SystemKind kind, const GoldenConfig& config,
                              GoldenScenario scenario, GoldenMode mode) {
   auto scheduler = MakeScheduler(kind);
-  // kTickNative is EngineConfig{} — the serving default the tick_ corpus
-  // pins; kBoundary reproduces the legacy drain loop and its corpus.
-  EngineConfig engine =
-      mode == GoldenMode::kBoundary ? BoundaryTickConfig() : EngineConfig{};
-  engine.sampling_seed = config.sampling_seed;
+  const EngineConfig engine = GoldenEngineConfig(config, scenario, mode);
   if (scenario == GoldenScenario::kRealTrace) {
     return exp.Run(*scheduler, GoldenWorkload(exp, config), engine);
   }
-  // Streaming scenarios exercise the full lazy path: bounded arrival
-  // horizon, incremental metrics, finished-request retirement.
-  engine.retire_finished = true;
   auto stream = MakeGoldenStream(exp, scenario, config);
   return exp.Run(*scheduler, *stream, engine);
 }

@@ -8,9 +8,11 @@
 #define ADASERVE_SRC_HARNESS_GOLDEN_H_
 
 #include <string>
+#include <vector>
 
 #include "src/harness/comparisons.h"
 #include "src/harness/experiment.h"
+#include "src/workload/scenarios.h"
 
 namespace adaserve {
 
@@ -32,10 +34,17 @@ Setup GoldenSetup();
 // vector path; kBursty (MMPP stream) and kDiurnal (time-of-day stream) run
 // through the lazy streaming engine with finished-request retirement, so
 // the baselines also pin the streaming admission/metrics path.
+// The stress scenarios (workload/scenarios.h) are pinned too, tick-native
+// only: the boundary corpus is the frozen legacy reference and does not
+// grow.
 enum class GoldenScenario {
   kRealTrace,
   kBursty,
   kDiurnal,
+  kFlashCrowd,
+  kTenantFlood,
+  kLongPromptPoison,
+  kCorrelatedBursts,
 };
 
 // Serving modes pinned by golden baselines. Every scenario exists in both
@@ -50,8 +59,27 @@ enum class GoldenMode {
   kBoundary,
 };
 
-// Baseline filename prefix: "", "bursty_", "diurnal_".
+// Baseline filename prefix: "", "bursty_", "diurnal_", "flash_",
+// "flood_", "hol_", "corr_".
 std::string GoldenScenarioPrefix(GoldenScenario scenario);
+
+// One pinned baseline: (system, scenario, mode) -> tests/golden/<file>.
+struct GoldenCell {
+  SystemKind kind = SystemKind::kAdaServe;
+  GoldenScenario scenario = GoldenScenario::kRealTrace;
+  GoldenMode mode = GoldenMode::kTickNative;
+
+  // Baseline filename, e.g. "tick_bursty_adaserve.txt".
+  std::string Filename() const;
+};
+
+// The single source of truth for the golden corpus: every cell the
+// regression test checks, `--update_golden` regenerates, and the orphan
+// scan accepts. MainComparisonSet x {real-trace, bursty, diurnal} x
+// {tick-native, boundary} (the historical corpus), plus MainComparisonSet
+// x the four stress scenarios tick-native, plus VTC under the tenant
+// flood (the fair-queuing baseline the flood exists to stress).
+std::vector<GoldenCell> AllGoldenCells();
 
 // Baseline filename mode prefix: "tick_" for kTickNative, "" for
 // kBoundary. Composes in front of the scenario prefix, e.g.
@@ -68,6 +96,12 @@ std::unique_ptr<ArrivalStream> MakeGoldenStream(const Experiment& exp, GoldenSce
 // alternative loops (legacy drain, tick-native) over the exact golden
 // trace.
 std::vector<Request> GoldenWorkload(const Experiment& exp, const GoldenConfig& config = {});
+
+// Engine config RunGoldenSystem serves (scenario, mode) under — factored
+// out so the record/replay harness can attach a trace sink to the exact
+// golden engine settings.
+EngineConfig GoldenEngineConfig(const GoldenConfig& config, GoldenScenario scenario,
+                                GoldenMode mode);
 
 // Runs `kind` on the canonical workload of `scenario` under `mode` and
 // returns its result. The default is the serving default: tick-native.

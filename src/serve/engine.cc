@@ -62,6 +62,9 @@ EngineResult Engine::Run(Scheduler& scheduler, WorkloadSource source, int verify
   // Makes arrivals due by `t` visible in the admission queue, bounded by
   // the horizon. Shared between the engine's boundary pull and the
   // scheduler's mid-tick admission phase (tick-native mode).
+  // Arrivals pulled since the last traced tick; charged to the next
+  // progressing tick by the trace sink (boundary + mid-tick pulls alike).
+  int pulls_since_tick = 0;
   auto pull_arrivals = [&](SimTime t) {
     int pulled = 0;
     while (!stream.Exhausted() && stream.Peek()->arrival <= t &&
@@ -71,9 +74,13 @@ EngineResult Engine::Run(Scheduler& scheduler, WorkloadSource source, int verify
           << "stream arrivals must be nondecreasing; got " << req.arrival << " after "
           << last_arrival;
       last_arrival = req.arrival;
+      if (config_.trace_sink != nullptr) {
+        config_.trace_sink->OnArrival(req);
+      }
       pool.AddArrival(req);
       ++pulled;
     }
+    pulls_since_tick += pulled;
     return pulled;
   };
   ctx.pull_arrivals = pull_arrivals;
@@ -84,6 +91,7 @@ EngineResult Engine::Run(Scheduler& scheduler, WorkloadSource source, int verify
   EngineResult result;
   SimTime now = 0.0;
   long iterations = 0;
+  long traced_ticks = 0;
   while (!stream.Exhausted() || pool.HasWork()) {
     ADASERVE_CHECK(++iterations <= config_.max_iterations) << "iteration budget exhausted";
     pull_arrivals(now);
@@ -96,6 +104,8 @@ EngineResult Engine::Run(Scheduler& scheduler, WorkloadSource source, int verify
       now = stream.Peek()->arrival;
       continue;
     }
+    const long hits_before = planner.has_value() ? planner->hits() : 0;
+    const long misses_before = planner.has_value() ? planner->misses() : 0;
     const TickResult tick = scheduler.Tick(now, pool, ctx);
     result.peak_resident_requests = std::max(result.peak_resident_requests, pool.resident_count());
     if (!tick.MadeProgress()) {
@@ -108,6 +118,22 @@ EngineResult Engine::Run(Scheduler& scheduler, WorkloadSource source, int verify
       ADASERVE_CHECK(!stream.Exhausted()) << "engine stalled with no work";
       now = stream.Peek()->arrival;
       continue;
+    }
+    if (config_.trace_sink != nullptr) {
+      TickTraceEvent event;
+      event.index = traced_ticks++;
+      event.start = now;
+      event.record = tick.record;
+      event.arrivals_pulled = pulls_since_tick;
+      if (planner.has_value()) {
+        if (planner->hits() != hits_before) {
+          event.plan_hit = 1;
+        } else if (planner->misses() != misses_before) {
+          event.plan_hit = 0;
+        }
+      }
+      config_.trace_sink->OnTick(event);
+      pulls_since_tick = 0;
     }
     now += tick.record.duration;
     acc.AddIteration(tick.record);

@@ -29,6 +29,39 @@
 
 namespace adaserve {
 
+// One progressing tick as seen by a trace sink: the clock at tick start,
+// the scheduler's full IterationRecord (admissions, evictions/pauses,
+// prefill chunk budget actually spent, decode/verify activity), how many
+// arrivals were pulled from the stream for this tick (boundary pull plus
+// mid-tick pulls), and the async planner's verdict.
+struct TickTraceEvent {
+  // 0-based index over progressing ticks (non-progress probes and
+  // event-driven skips do not consume an index).
+  long index = 0;
+  // Simulated clock at tick start.
+  SimTime start = 0.0;
+  IterationRecord record;
+  // Arrivals pulled from the stream and charged to this tick.
+  int arrivals_pulled = 0;
+  // Async planner verdict: 1 = plan hit, 0 = reconciliation miss,
+  // -1 = serial tick (planner off or not consulted).
+  int plan_hit = -1;
+};
+
+// Streaming observer of one engine run. Enabled by EngineConfig::
+// trace_sink; the engine reports every arrival it pulls (in pull order,
+// the request still in its immutable arrival state) and every progressing
+// tick. Callbacks run synchronously on the engine loop — implementations
+// must not re-enter the engine. The record/replay harness
+// (src/harness/replay.h) is the canonical consumer.
+class TickTraceSink {
+ public:
+  virtual ~TickTraceSink() = default;
+
+  virtual void OnArrival(const Request& request) = 0;
+  virtual void OnTick(const TickTraceEvent& event) = 0;
+};
+
 struct EngineConfig {
   // Safety valve: abort if an experiment exceeds this many iterations.
   long max_iterations = 50'000'000;
@@ -57,6 +90,10 @@ struct EngineConfig {
   // one struct. Engine::Run resolves it (TickPolicy::ResolvedFor) and
   // hands it to the scheduler through ServingContext unchanged.
   TickPolicy tick;
+  // Optional run observer (record/replay): receives every pulled arrival
+  // and every progressing tick. Non-owning; must outlive the run. Purely
+  // observational — a run with a sink is byte-identical to one without.
+  TickTraceSink* trace_sink = nullptr;
 
   // Convenience alias kept under its historical name (vLLM max_num_seqs).
   int& max_active_requests = tick.max_active;
@@ -86,7 +123,8 @@ struct EngineConfig {
         arrival_horizon(other.arrival_horizon),
         record_iterations(other.record_iterations),
         retire_finished(other.retire_finished),
-        tick(other.tick) {}
+        tick(other.tick),
+        trace_sink(other.trace_sink) {}
   EngineConfig& operator=(const EngineConfig& other) {
     max_iterations = other.max_iterations;
     sampling_seed = other.sampling_seed;
@@ -95,6 +133,7 @@ struct EngineConfig {
     record_iterations = other.record_iterations;
     retire_finished = other.retire_finished;
     tick = other.tick;  // References already bind to this->tick.
+    trace_sink = other.trace_sink;
     return *this;
   }
 #pragma GCC diagnostic pop

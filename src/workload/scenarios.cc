@@ -1,0 +1,329 @@
+#include "src/workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace adaserve {
+namespace {
+
+// One entry in a stream merge: the source and its position in the input
+// vector (the tie-break key).
+struct MergeHead {
+  ArrivalStream* stream = nullptr;
+  size_t index = 0;
+};
+
+// Merges arrival-ordered sources into one dense-id stream. Each pull scans
+// the live sources for the earliest Peek(); with the handful of sources a
+// scenario composes this beats a heap on simplicity and is equally
+// deterministic.
+class MergedArrivalStream final : public ArrivalStream {
+ public:
+  explicit MergedArrivalStream(std::vector<std::unique_ptr<ArrivalStream>> sources)
+      : sources_(std::move(sources)) {
+    ADASERVE_CHECK(!sources_.empty()) << "merge of zero streams";
+    for (const auto& source : sources_) {
+      ADASERVE_CHECK(source != nullptr) << "null stream in merge";
+    }
+  }
+
+  bool Exhausted() override { return PickSource() == nullptr; }
+
+  const Request* Peek() override {
+    ArrivalStream* source = PickSource();
+    if (source == nullptr) {
+      return nullptr;
+    }
+    // Re-id the peeked view so callers (the engine's admission horizon)
+    // see the merged identity, not the source-local one.
+    peeked_ = *source->Peek();
+    Rekey(peeked_);
+    return &peeked_;
+  }
+
+  Request Next() override {
+    ArrivalStream* source = PickSource();
+    ADASERVE_CHECK(source != nullptr) << "Next() on exhausted merged stream";
+    Request req = source->Next();
+    Rekey(req);
+    ++emitted_;
+    return req;
+  }
+
+  size_t emitted() const override { return emitted_; }
+
+ private:
+  // The source whose pending request arrives earliest; ties break by
+  // source index so the merge order is deterministic. nullptr when all
+  // sources are exhausted.
+  ArrivalStream* PickSource() {
+    ArrivalStream* best = nullptr;
+    SimTime best_arrival = 0.0;
+    for (const auto& source : sources_) {
+      const Request* head = source->Peek();
+      if (head == nullptr) {
+        continue;
+      }
+      if (best == nullptr || head->arrival < best_arrival) {
+        best = source.get();
+        best_arrival = head->arrival;
+      }
+    }
+    return best;
+  }
+
+  // Dense merged id + the generator's stream_seed convention, so a merged
+  // stream is indistinguishable from a single WorkloadStream downstream.
+  void Rekey(Request& req) const {
+    req.id = static_cast<RequestId>(emitted_);
+    req.stream_seed = HashCombine(Mix64(0xadaceedeULL), static_cast<uint64_t>(emitted_));
+  }
+
+  std::vector<std::unique_ptr<ArrivalStream>> sources_;
+  Request peeked_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace
+
+std::vector<StressScenario> AllStressScenarios() {
+  return {StressScenario::kFlashCrowd, StressScenario::kTenantFlood,
+          StressScenario::kLongPromptPoison, StressScenario::kCorrelatedBursts};
+}
+
+std::string StressScenarioName(StressScenario scenario) {
+  switch (scenario) {
+    case StressScenario::kFlashCrowd:
+      return "flash-crowd";
+    case StressScenario::kTenantFlood:
+      return "tenant-flood";
+    case StressScenario::kLongPromptPoison:
+      return "long-prompt-poison";
+    case StressScenario::kCorrelatedBursts:
+      return "correlated-bursts";
+  }
+  return "unknown";
+}
+
+std::string StressScenarioSlug(StressScenario scenario) {
+  std::string slug = StressScenarioName(scenario);
+  std::replace(slug.begin(), slug.end(), '-', '_');
+  return slug;
+}
+
+// --- flash crowd -------------------------------------------------------------
+
+std::unique_ptr<ArrivalStream> MakeFlashCrowdStream(const std::vector<CategorySpec>& categories,
+                                                    const FlashCrowdSpec& spec) {
+  ADASERVE_CHECK(spec.base_rps > 0.0) << "flash crowd needs a positive base rate";
+  ADASERVE_CHECK(spec.magnitude >= 1.0) << "overload magnitude must be >= 1";
+  ADASERVE_CHECK(spec.overload_start >= 0.0 && spec.OverloadEnd() <= spec.duration)
+      << "overload window must sit inside the run";
+  const double duration = spec.duration;
+  const double base = spec.base_rps;
+  const double peak = spec.base_rps * spec.magnitude;
+  const double start = spec.overload_start;
+  const double end = spec.OverloadEnd();
+  auto process = MakeAbsoluteRateProcess(duration, spec.trace_seed,
+                                         [duration, base, peak, start, end](double phase) {
+                                           const double t = phase * duration;
+                                           return (t >= start && t < end) ? peak : base;
+                                         });
+  ADASERVE_CHECK(process != nullptr) << "flash crowd envelope is silent";
+  return std::make_unique<WorkloadStream>(categories, std::move(process), ConstantMix(spec.mix),
+                                          spec.sampling_seed, spec.max_requests);
+}
+
+double RecoveryTimeToSlo(std::span<const Request> requests, const FlashCrowdSpec& spec) {
+  double latest_violation = -1.0;
+  for (const Request& req : requests) {
+    if (req.state != RequestState::kFinished) {
+      continue;
+    }
+    if (!req.Attained()) {
+      latest_violation = std::max(latest_violation, req.finish_time);
+    }
+  }
+  if (latest_violation < 0.0) {
+    return 0.0;
+  }
+  return std::max(0.0, latest_violation - spec.OverloadEnd());
+}
+
+// --- adversarial tenant flood ------------------------------------------------
+
+std::unique_ptr<ArrivalStream> MakeTenantFloodStream(const std::vector<CategorySpec>& categories,
+                                                     const TenantFloodSpec& spec) {
+  ADASERVE_CHECK(spec.benign_rps > 0.0) << "tenant flood needs positive benign traffic";
+  ADASERVE_CHECK(spec.flood_rps > 0.0) << "tenant flood needs a positive flood rate";
+  ADASERVE_CHECK(spec.adversary_category >= 0 && spec.adversary_category < kNumCategories)
+      << "adversary category out of range";
+  const double duration = spec.duration;
+  const double benign = spec.benign_rps;
+  const double flood = spec.flood_rps;
+  const double start = spec.flood_start;
+  const double end = spec.flood_start + spec.flood_duration;
+  ADASERVE_CHECK(start >= 0.0 && end <= duration) << "flood window must sit inside the run";
+
+  // Total arrival rate: benign everywhere, plus the flood inside its window.
+  auto process = MakeAbsoluteRateProcess(duration, spec.trace_seed,
+                                         [duration, benign, flood, start, end](double phase) {
+                                           const double t = phase * duration;
+                                           return benign + ((t >= start && t < end) ? flood : 0.0);
+                                         });
+  ADASERVE_CHECK(process != nullptr) << "tenant flood envelope is silent";
+
+  // The mix at time t re-weights the benign mix against the flood share, so
+  // the adversary's absolute benign traffic is unchanged while its flood
+  // rides on top — the exact shape VTC-style fair queuing must absorb.
+  const std::array<double, kNumCategories> benign_mix = spec.benign_mix;
+  const int adversary = spec.adversary_category;
+  MixFunction mix = [duration, benign, flood, start, end, benign_mix, adversary](SimTime t) {
+    const double flood_rate = (t >= start && t < end) ? flood : 0.0;
+    const double total = benign + flood_rate;
+    std::array<double, kNumCategories> mix;
+    for (size_t c = 0; c < static_cast<size_t>(kNumCategories); ++c) {
+      mix[c] = benign * benign_mix[c] / total;
+    }
+    mix[static_cast<size_t>(adversary)] += flood_rate / total;
+    return mix;
+  };
+  return std::make_unique<WorkloadStream>(categories, std::move(process), std::move(mix),
+                                          spec.sampling_seed, spec.max_requests);
+}
+
+// --- long-prompt head-of-line poisoning --------------------------------------
+
+std::unique_ptr<ArrivalStream> MakeLongPromptPoisonStream(
+    const std::vector<CategorySpec>& categories, const LongPromptPoisonSpec& spec) {
+  ADASERVE_CHECK(spec.base_rps > 0.0) << "poison scenario needs positive base traffic";
+  ADASERVE_CHECK(spec.poison_rps > 0.0) << "poison scenario needs a positive poison rate";
+  ADASERVE_CHECK(spec.prompt_scale >= 1.0) << "prompt scale must be >= 1";
+  ADASERVE_CHECK(spec.poison_category >= 0 && spec.poison_category < kNumCategories)
+      << "poison category out of range";
+
+  // Normal traffic: plain Poisson over the configured mix.
+  auto normal = std::make_unique<WorkloadStream>(
+      categories, MakePoissonProcess(spec.duration, spec.base_rps, spec.trace_seed),
+      ConstantMix(spec.mix), spec.sampling_seed, spec.max_requests);
+
+  // Poison trickle: same category table except the poison category's prompt
+  // distribution shifted by ln(prompt_scale) in the log domain — every
+  // poison arrival lands prompt_scale x the category's typical prompt.
+  std::vector<CategorySpec> poisoned = categories;
+  CategorySpec& target = poisoned[static_cast<size_t>(spec.poison_category)];
+  target.prompt_len.log_mean += std::log(spec.prompt_scale);
+  target.prompt_len.max_len = static_cast<int>(
+      std::min<double>(1 << 20, static_cast<double>(target.prompt_len.max_len) * spec.prompt_scale));
+  std::array<double, kNumCategories> poison_mix{};
+  poison_mix[static_cast<size_t>(spec.poison_category)] = 1.0;
+  auto poison = std::make_unique<WorkloadStream>(
+      std::move(poisoned),
+      MakePoissonProcess(spec.duration, spec.poison_rps, HashCombine(spec.trace_seed, 1)),
+      ConstantMix(poison_mix), HashCombine(spec.sampling_seed, 1), spec.max_requests);
+
+  std::vector<std::unique_ptr<ArrivalStream>> sources;
+  sources.push_back(std::move(normal));
+  sources.push_back(std::move(poison));
+  return MergeArrivalStreams(std::move(sources));
+}
+
+// --- correlated category bursts ----------------------------------------------
+
+std::unique_ptr<ArrivalStream> MakeCorrelatedBurstStream(
+    const std::vector<CategorySpec>& categories, const CorrelatedBurstSpec& spec) {
+  ADASERVE_CHECK(spec.base_rps > 0.0) << "correlated bursts need a positive base rate";
+  ADASERVE_CHECK(spec.burst_rps >= spec.base_rps) << "burst rate must be >= base rate";
+  ADASERVE_CHECK(!spec.burst_centers.empty()) << "need at least one burst";
+  ADASERVE_CHECK(spec.burst_width > 0.0) << "burst width must be positive";
+  const double base = spec.base_rps;
+  const double lift = spec.burst_rps - spec.base_rps;
+  const std::vector<double> centers = spec.burst_centers;
+  const double width = spec.burst_width;
+  auto process = MakeAbsoluteRateProcess(spec.duration, spec.trace_seed,
+                                         [base, lift, centers, width](double phase) {
+                                           double bumps = 0.0;
+                                           for (double center : centers) {
+                                             const double z = (phase - center) / width;
+                                             bumps += std::exp(-0.5 * z * z);
+                                           }
+                                           return base + lift * bumps;
+                                         });
+  ADASERVE_CHECK(process != nullptr) << "correlated burst envelope is silent";
+  return std::make_unique<WorkloadStream>(categories, std::move(process), ConstantMix(spec.mix),
+                                          spec.sampling_seed, spec.max_requests);
+}
+
+// --- duration-scaled defaults ------------------------------------------------
+
+FlashCrowdSpec DefaultFlashCrowd(double duration, uint64_t trace_seed) {
+  FlashCrowdSpec spec;
+  spec.duration = duration;
+  spec.base_rps = 1.5;
+  spec.overload_start = 0.25 * duration;
+  spec.overload_duration = 0.20 * duration;
+  spec.magnitude = 10.0;
+  spec.trace_seed = trace_seed;
+  return spec;
+}
+
+TenantFloodSpec DefaultTenantFlood(double duration, uint64_t trace_seed) {
+  TenantFloodSpec spec;
+  spec.duration = duration;
+  spec.benign_rps = 2.0;
+  spec.flood_rps = 12.0;
+  spec.flood_start = 0.2 * duration;
+  spec.flood_duration = 0.5 * duration;
+  spec.trace_seed = trace_seed;
+  return spec;
+}
+
+LongPromptPoisonSpec DefaultLongPromptPoison(double duration, uint64_t trace_seed) {
+  LongPromptPoisonSpec spec;
+  spec.duration = duration;
+  spec.base_rps = 2.5;
+  spec.poison_rps = 0.4;
+  spec.prompt_scale = 6.0;
+  spec.trace_seed = trace_seed;
+  return spec;
+}
+
+CorrelatedBurstSpec DefaultCorrelatedBursts(double duration, uint64_t trace_seed) {
+  CorrelatedBurstSpec spec;
+  spec.duration = duration;
+  spec.base_rps = 1.0;
+  spec.burst_rps = 10.0;
+  spec.burst_centers = {0.3, 0.7};
+  spec.burst_width = 0.05;
+  spec.trace_seed = trace_seed;
+  return spec;
+}
+
+std::unique_ptr<ArrivalStream> MakeStressStream(const std::vector<CategorySpec>& categories,
+                                                StressScenario scenario, double duration,
+                                                uint64_t trace_seed) {
+  switch (scenario) {
+    case StressScenario::kFlashCrowd:
+      return MakeFlashCrowdStream(categories, DefaultFlashCrowd(duration, trace_seed));
+    case StressScenario::kTenantFlood:
+      return MakeTenantFloodStream(categories, DefaultTenantFlood(duration, trace_seed));
+    case StressScenario::kLongPromptPoison:
+      return MakeLongPromptPoisonStream(categories, DefaultLongPromptPoison(duration, trace_seed));
+    case StressScenario::kCorrelatedBursts:
+      return MakeCorrelatedBurstStream(categories, DefaultCorrelatedBursts(duration, trace_seed));
+  }
+  ADASERVE_CHECK(false) << "unknown stress scenario";
+  return nullptr;
+}
+
+// --- stream combinator -------------------------------------------------------
+
+std::unique_ptr<ArrivalStream> MergeArrivalStreams(
+    std::vector<std::unique_ptr<ArrivalStream>> sources) {
+  return std::make_unique<MergedArrivalStream>(std::move(sources));
+}
+
+}  // namespace adaserve

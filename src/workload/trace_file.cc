@@ -1,0 +1,255 @@
+#include "src/workload/trace_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace adaserve {
+namespace {
+
+// Splits one CSV line on commas; no quoting (token counts and numbers
+// never contain commas in this format).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) {
+    cells.push_back(cell);
+  }
+  if (!line.empty() && line.back() == ',') {
+    cells.emplace_back();
+  }
+  return cells;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool ParseDouble(const std::string& cell, double* out) {
+  const std::string t = Trim(cell);
+  if (t.empty()) {
+    return false;
+  }
+  size_t consumed = 0;
+  try {
+    *out = std::stod(t, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == t.size();
+}
+
+bool ParseInt(const std::string& cell, int* out) {
+  const std::string t = Trim(cell);
+  if (t.empty()) {
+    return false;
+  }
+  size_t consumed = 0;
+  long value = 0;
+  try {
+    value = std::stol(t, &consumed);
+  } catch (...) {
+    return false;
+  }
+  if (consumed != t.size() || value < INT_MIN || value > INT_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+void SetError(std::string* error, size_t line_no, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<TraceFileArrivalStream> TraceFileArrivalStream::FromString(
+    const std::vector<CategorySpec>& categories, const std::string& csv, std::string* error) {
+  ADASERVE_CHECK(categories.size() == kNumCategories) << "expected a full category table";
+  if (error != nullptr) {
+    error->clear();
+  }
+
+  std::vector<TraceFileRow> rows;
+  std::stringstream ss(csv);
+  std::string line;
+  size_t line_no = 0;
+  bool saw_content = false;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> cells = SplitCsvLine(trimmed);
+    // An optional header ("timestamp,prompt_tokens,..."): recognized only
+    // when NO cell is numeric, so a data row with one bad field still
+    // reports its error instead of being skipped as a header.
+    if (!saw_content) {
+      saw_content = true;
+      bool any_numeric = false;
+      for (const std::string& cell : cells) {
+        double probe = 0.0;
+        if (ParseDouble(cell, &probe)) {
+          any_numeric = true;
+          break;
+        }
+      }
+      if (!any_numeric) {
+        continue;
+      }
+    }
+
+    if (cells.size() < 4 || cells.size() > 5) {
+      SetError(error, line_no,
+               "expected 4-5 columns (timestamp,prompt_tokens,output_tokens,category[,tpot_slo]), "
+               "got " +
+                   std::to_string(cells.size()));
+      return nullptr;
+    }
+
+    TraceFileRow row;
+    if (!ParseDouble(cells[0], &row.timestamp)) {
+      SetError(error, line_no, "bad timestamp '" + Trim(cells[0]) + "'");
+      return nullptr;
+    }
+    if (row.timestamp < 0.0) {
+      SetError(error, line_no, "negative timestamp");
+      return nullptr;
+    }
+    if (!rows.empty() && row.timestamp < rows.back().timestamp) {
+      SetError(error, line_no, "out-of-order timestamp (arrivals must be nondecreasing)");
+      return nullptr;
+    }
+    if (!ParseInt(cells[1], &row.prompt_tokens) || row.prompt_tokens < 1) {
+      SetError(error, line_no, "bad prompt_tokens '" + Trim(cells[1]) + "'");
+      return nullptr;
+    }
+    if (!ParseInt(cells[2], &row.output_tokens) || row.output_tokens < 1) {
+      SetError(error, line_no, "bad output_tokens '" + Trim(cells[2]) + "'");
+      return nullptr;
+    }
+    // Minimum 2 output tokens so the TPOT denominator is well defined
+    // (the generators clamp identically).
+    row.output_tokens = std::max(2, row.output_tokens);
+    if (!ParseInt(cells[3], &row.category) || row.category < 0 ||
+        row.category >= kNumCategories) {
+      SetError(error, line_no, "bad category '" + Trim(cells[3]) + "'");
+      return nullptr;
+    }
+    if (cells.size() == 5 && !Trim(cells[4]).empty()) {
+      if (!ParseDouble(cells[4], &row.tpot_slo) || row.tpot_slo <= 0.0) {
+        SetError(error, line_no, "bad tpot_slo '" + Trim(cells[4]) + "'");
+        return nullptr;
+      }
+    }
+    rows.push_back(row);
+  }
+
+  if (rows.empty()) {
+    if (error != nullptr) {
+      *error = "trace holds no data rows";
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<TraceFileArrivalStream>(
+      new TraceFileArrivalStream(categories, std::move(rows)));
+}
+
+std::unique_ptr<TraceFileArrivalStream> TraceFileArrivalStream::Open(
+    const std::vector<CategorySpec>& categories, const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open trace file '" + path + "'";
+    }
+    return nullptr;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromString(categories, buffer.str(), error);
+}
+
+Request TraceFileArrivalStream::BuildRequest(size_t index) const {
+  const TraceFileRow& row = rows_[index];
+  const CategorySpec& spec = categories_[static_cast<size_t>(row.category)];
+  Request req;
+  req.id = static_cast<RequestId>(index);
+  req.category = row.category;
+  req.tpot_slo = row.tpot_slo > 0.0 ? row.tpot_slo : spec.tpot_slo;
+  req.arrival = row.timestamp;
+  req.prompt_len = row.prompt_tokens;
+  req.target_output_len = row.output_tokens;
+  // Same stream-seed convention as the generators, so trace-driven runs
+  // key token streams identically to a synthetic run with the same ids.
+  req.stream_seed = HashCombine(Mix64(0xadaceedeULL), static_cast<uint64_t>(index));
+  return req;
+}
+
+const Request* TraceFileArrivalStream::Peek() {
+  if (Exhausted()) {
+    return nullptr;
+  }
+  peeked_ = BuildRequest(next_);
+  return &peeked_;
+}
+
+Request TraceFileArrivalStream::Next() {
+  ADASERVE_CHECK(!Exhausted()) << "Next() on exhausted trace stream";
+  return BuildRequest(next_++);
+}
+
+std::string TraceCsvFromRequests(std::span<const Request> requests) {
+  std::string csv = "timestamp,prompt_tokens,output_tokens,category,tpot_slo\n";
+  char buffer[160];
+  for (const Request& req : requests) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g,%d,%d,%d,%.17g\n", req.arrival, req.prompt_len,
+                  req.target_output_len, req.category, req.tpot_slo);
+    csv += buffer;
+  }
+  return csv;
+}
+
+bool WriteTraceCsv(const std::string& path, std::span<const Request> requests,
+                   std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "' for writing";
+    }
+    return false;
+  }
+  out << TraceCsvFromRequests(requests);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "write to '" + path + "' failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace adaserve

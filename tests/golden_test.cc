@@ -1,29 +1,40 @@
-// Golden-metrics regression test: every system in MainComparisonSet() runs
-// the canonical fixed-seed workload of every scenario in BOTH serving
-// modes, and its key metrics must byte-match the checked-in baseline under
-// tests/golden/:
-//   - tick-native mode (the serving default: continuous ticks, scheduler
-//     admission-priority defaults, evict-for-admission) pins the
-//     tick_-prefixed corpus;
-//   - boundary mode (BoundaryTickConfig — the legacy drain loop) pins the
-//     unprefixed corpus, which must never drift.
+// Golden-metrics regression test: every cell of AllGoldenCells() — the
+// MainComparisonSet systems across the real-trace/bursty/diurnal corpus
+// (both serving modes) and the stress-scenario corpus (flash crowd,
+// tenant flood, long-prompt poisoning, correlated bursts; tick-native),
+// plus VTC under the tenant flood — runs its canonical fixed-seed
+// workload, and its key metrics must byte-match the checked-in baseline
+// under tests/golden/.
 //
 // Regenerate baselines after an intentional behavior change with:
 //   ./golden_test --update_golden
-// Regeneration fans every (system × scenario × mode) cell out over a
-// SweepRunner; the test pass that follows recomputes each cell serially
-// and byte-compares it against the parallel-written file, so every
-// --update_golden run doubles as a parallel ≡ serial regeneration proof.
+// Regeneration fans every cell out over a SweepRunner; the test pass that
+// follows recomputes each cell serially and byte-compares it against the
+// parallel-written file, so every --update_golden run doubles as a
+// parallel ≡ serial regeneration proof. After regenerating, any
+// tests/golden/*.txt file that no longer corresponds to a cell is an
+// orphan: --update_golden lists them and exits nonzero instead of leaving
+// them behind, and the always-on NoOrphanBaselines test enforces the same
+// invariant on every run.
+//
+// On a baseline mismatch the failing cell is re-run under a RunRecorder
+// and its replay artifact is dumped to $ADASERVE_REPLAY_DUMP_DIR (default
+// ./replay_artifacts), so one bad cell can be re-executed byte-identically
+// offline (src/harness/replay.h) without re-running the sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <set>
 #include <string>
-#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/harness/golden.h"
+#include "src/harness/replay.h"
 #include "src/harness/sweep_runner.h"
 
 #ifndef ADASERVE_GOLDEN_DIR
@@ -33,39 +44,51 @@
 namespace adaserve {
 namespace {
 
-const std::vector<GoldenScenario> kAllScenarios = {
-    GoldenScenario::kRealTrace, GoldenScenario::kBursty, GoldenScenario::kDiurnal};
-const std::vector<GoldenMode> kAllModes = {GoldenMode::kTickNative, GoldenMode::kBoundary};
-
-std::string GoldenPath(SystemKind kind, GoldenScenario scenario, GoldenMode mode) {
-  return std::string(ADASERVE_GOLDEN_DIR) + "/" + GoldenModePrefix(mode) +
-         GoldenScenarioPrefix(scenario) + GoldenFileSlug(kind) + ".txt";
+std::string GoldenPath(const GoldenCell& cell) {
+  return std::string(ADASERVE_GOLDEN_DIR) + "/" + cell.Filename();
 }
 
-// Regenerates the full corpus — every (system, scenario, mode) cell — with
-// the cells fanned out over a SweepRunner. Cells share the (immutable)
-// Experiment but build their own scheduler, engine, and stream, the same
-// contract RunComparison relies on. Returns false if any file write fails.
+// tests/golden/*.txt files that correspond to no generated cell —
+// leftovers of a renamed or removed cell. Sorted for stable output.
+std::vector<std::string> OrphanBaselines() {
+  std::set<std::string> expected;
+  for (const GoldenCell& cell : AllGoldenCells()) {
+    expected.insert(cell.Filename());
+  }
+  std::vector<std::string> orphans;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(ADASERVE_GOLDEN_DIR, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".txt") {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (expected.find(name) == expected.end()) {
+      orphans.push_back(name);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end());
+  return orphans;
+}
+
+// Regenerates the full corpus — every AllGoldenCells() cell — fanned out
+// over a SweepRunner. Cells share the (immutable) Experiment but build
+// their own scheduler, engine, and stream, the same contract
+// RunComparison relies on. Returns false if any file write fails.
 bool RegenerateAllGoldens(const Experiment& exp, int threads) {
-  struct Cell {
+  struct Written {
     std::string path;
     std::string text;
   };
-  std::vector<std::function<Cell()>> tasks;
-  for (SystemKind kind : MainComparisonSet()) {
-    for (GoldenScenario scenario : kAllScenarios) {
-      for (GoldenMode mode : kAllModes) {
-        tasks.push_back([&exp, kind, scenario, mode] {
-          const EngineResult result = RunGoldenSystem(exp, kind, {}, scenario, mode);
-          return Cell{GoldenPath(kind, scenario, mode),
-                      GoldenMetricsText(kind, result.metrics)};
-        });
-      }
-    }
+  std::vector<std::function<Written()>> tasks;
+  for (const GoldenCell& cell : AllGoldenCells()) {
+    tasks.push_back([&exp, cell] {
+      const EngineResult result = RunGoldenSystem(exp, cell.kind, {}, cell.scenario, cell.mode);
+      return Written{GoldenPath(cell), GoldenMetricsText(cell.kind, result.metrics)};
+    });
   }
   SweepRunner runner(threads);
   bool ok = true;
-  for (const Timed<Cell>& cell : runner.Map(tasks)) {
+  for (const Timed<Written>& cell : runner.Map(tasks)) {
     if (!WriteGoldenFile(cell.value.path, cell.value.text)) {
       ADASERVE_LOG(Error) << "cannot write " << cell.value.path;
       ok = false;
@@ -74,24 +97,42 @@ bool RegenerateAllGoldens(const Experiment& exp, int threads) {
   return ok;
 }
 
-void CheckAgainstBaseline(const Experiment& exp, SystemKind kind, GoldenScenario scenario,
-                          GoldenMode mode) {
-  const EngineResult result = RunGoldenSystem(exp, kind, {}, scenario, mode);
-  ASSERT_GT(result.metrics.finished, 0) << SystemName(kind) << " finished nothing";
-  const std::string actual = GoldenMetricsText(kind, result.metrics);
-  const std::string path = GoldenPath(kind, scenario, mode);
+// Re-runs a failing cell under a RunRecorder and dumps its replay
+// artifact for offline debugging (CI uploads the directory on failure).
+void DumpReplayArtifact(const Experiment& exp, const GoldenCell& cell) {
+  const char* env = std::getenv("ADASERVE_REPLAY_DUMP_DIR");
+  const std::string dir = env != nullptr && *env != '\0' ? env : "replay_artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const RecordedRun run = RecordGoldenRun(exp, cell.kind, {}, cell.scenario, cell.mode);
+  const std::string path = dir + "/" + cell.Filename() + ".replay";
+  std::string error;
+  if (WriteReplayArtifact(path, run.artifact, &error)) {
+    ADASERVE_LOG(Error) << "replay artifact of failing cell dumped to " << path
+                        << " (re-execute with ReplayRun)";
+  } else {
+    ADASERVE_LOG(Error) << "could not dump replay artifact: " << error;
+  }
+}
+
+void CheckAgainstBaseline(const Experiment& exp, const GoldenCell& cell) {
+  const EngineResult result = RunGoldenSystem(exp, cell.kind, {}, cell.scenario, cell.mode);
+  ASSERT_GT(result.metrics.finished, 0) << SystemName(cell.kind) << " finished nothing";
+  const std::string actual = GoldenMetricsText(cell.kind, result.metrics);
+  const std::string path = GoldenPath(cell);
 
   std::string expected;
   ASSERT_TRUE(ReadGoldenFile(path, &expected))
       << "missing baseline " << path << "; run `golden_test --update_golden` to create it";
   EXPECT_EQ(expected, actual)
-      << "golden metrics changed for " << SystemName(kind)
+      << "golden metrics changed for " << SystemName(cell.kind)
       << "; if intentional, regenerate with `golden_test --update_golden`";
+  if (expected != actual) {
+    DumpReplayArtifact(exp, cell);
+  }
 }
 
-using GoldenParams = std::tuple<SystemKind, GoldenMode>;
-
-class GoldenTest : public testing::TestWithParam<GoldenParams> {
+class GoldenTest : public testing::TestWithParam<GoldenCell> {
  protected:
   // One experiment shared across all parameterized cases: building the
   // synthetic LM pair dominates setup cost.
@@ -105,35 +146,29 @@ class GoldenTest : public testing::TestWithParam<GoldenParams> {
 
 Experiment* GoldenTest::exp_ = nullptr;
 
-TEST_P(GoldenTest, MetricsMatchBaseline) {
-  const auto [kind, mode] = GetParam();
-  CheckAgainstBaseline(*exp_, kind, GoldenScenario::kRealTrace, mode);
+TEST_P(GoldenTest, MetricsMatchBaseline) { CheckAgainstBaseline(*exp_, GetParam()); }
+
+std::string ParamName(const testing::TestParamInfo<GoldenCell>& info) {
+  std::string name = info.param.Filename();
+  name.resize(name.size() - 4);  // strip ".txt"
+  return name;
 }
 
-// The streaming scenarios run through the lazy engine path (generator-backed
-// stream, bounded horizon, finished-request retirement), so these baselines
-// regression-pin the streaming admission and incremental-metrics machinery —
-// including, in tick-native mode, priority admission at the mid-tick pull.
-TEST_P(GoldenTest, BurstyStreamMetricsMatchBaseline) {
-  const auto [kind, mode] = GetParam();
-  CheckAgainstBaseline(*exp_, kind, GoldenScenario::kBursty, mode);
-}
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenTest, testing::ValuesIn(AllGoldenCells()), ParamName);
 
-TEST_P(GoldenTest, DiurnalStreamMetricsMatchBaseline) {
-  const auto [kind, mode] = GetParam();
-  CheckAgainstBaseline(*exp_, kind, GoldenScenario::kDiurnal, mode);
+// Every checked-in baseline must correspond to a generated cell; a stale
+// file (from a renamed scenario or dropped system) would otherwise sit in
+// the corpus forever pretending to pin something.
+TEST(GoldenCorpusTest, NoOrphanBaselines) {
+  const std::vector<std::string> orphans = OrphanBaselines();
+  EXPECT_TRUE(orphans.empty()) << [&orphans] {
+    std::string msg = "stale baselines no cell generates (delete them):";
+    for (const std::string& orphan : orphans) {
+      msg += "\n  tests/golden/" + orphan;
+    }
+    return msg;
+  }();
 }
-
-std::string ParamName(const testing::TestParamInfo<GoldenParams>& info) {
-  const auto [kind, mode] = info.param;
-  return GoldenFileSlug(kind) +
-         (mode == GoldenMode::kTickNative ? "_tick_native" : "_boundary");
-}
-
-INSTANTIATE_TEST_SUITE_P(MainComparison, GoldenTest,
-                         testing::Combine(testing::ValuesIn(MainComparisonSet()),
-                                          testing::ValuesIn(kAllModes)),
-                         ParamName);
 
 // Always-on half of the parallel-regeneration guarantee: recomputing the
 // kRealTrace corpus (both modes) through a 4-thread SweepRunner must
@@ -143,28 +178,26 @@ INSTANTIATE_TEST_SUITE_P(MainComparison, GoldenTest,
 TEST(GoldenRegenerationTest, ParallelRecomputationMatchesBaselines) {
   const Experiment exp(GoldenSetup());
   struct Cell {
-    SystemKind kind;
-    GoldenMode mode;
+    GoldenCell cell;
     std::string text;
   };
   std::vector<std::function<Cell()>> tasks;
   for (SystemKind kind : MainComparisonSet()) {
-    for (GoldenMode mode : kAllModes) {
-      tasks.push_back([&exp, kind, mode] {
-        const EngineResult result =
-            RunGoldenSystem(exp, kind, {}, GoldenScenario::kRealTrace, mode);
-        return Cell{kind, mode, GoldenMetricsText(kind, result.metrics)};
+    for (GoldenMode mode : {GoldenMode::kTickNative, GoldenMode::kBoundary}) {
+      const GoldenCell cell{kind, GoldenScenario::kRealTrace, mode};
+      tasks.push_back([&exp, cell] {
+        const EngineResult result = RunGoldenSystem(exp, cell.kind, {}, cell.scenario, cell.mode);
+        return Cell{cell, GoldenMetricsText(cell.kind, result.metrics)};
       });
     }
   }
   SweepRunner runner(4);
   for (const Timed<Cell>& cell : runner.Map(tasks)) {
-    const std::string path =
-        GoldenPath(cell.value.kind, GoldenScenario::kRealTrace, cell.value.mode);
     std::string expected;
-    ASSERT_TRUE(ReadGoldenFile(path, &expected)) << "missing baseline " << path;
+    ASSERT_TRUE(ReadGoldenFile(GoldenPath(cell.value.cell), &expected))
+        << "missing baseline " << GoldenPath(cell.value.cell);
     EXPECT_EQ(expected, cell.value.text)
-        << "parallel recomputation diverged for " << SystemName(cell.value.kind);
+        << "parallel recomputation diverged for " << SystemName(cell.value.cell.kind);
   }
 }
 
@@ -185,6 +218,16 @@ int main(int argc, char** argv) {
     // byte-compares them against the file just written in parallel.
     const adaserve::Experiment exp(adaserve::GoldenSetup());
     if (!adaserve::RegenerateAllGoldens(exp, /*threads=*/0)) {
+      return 1;
+    }
+    // Fail loudly on stale baselines instead of leaving orphans behind.
+    const std::vector<std::string> orphans = adaserve::OrphanBaselines();
+    if (!orphans.empty()) {
+      ADASERVE_LOG(Error) << "--update_golden regenerated every cell, but these baselines "
+                             "correspond to no cell (delete them):";
+      for (const std::string& orphan : orphans) {
+        ADASERVE_LOG(Error) << "  tests/golden/" << orphan;
+      }
       return 1;
     }
   }

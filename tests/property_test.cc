@@ -139,5 +139,85 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<2>(info.param) ? "_continuous" : "_boundary");
     });
 
+// --- stress-scenario properties ----------------------------------------------
+
+class StressScenarioProperties : public ::testing::TestWithParam<StressScenario> {};
+
+// Every scenario stream is a well-formed workload: nonempty, densely
+// id'd in emission order, arrival-sorted, and re-keyed with the
+// generator's stream_seed convention, with per-request fields the engine
+// can serve directly.
+TEST_P(StressScenarioProperties, StreamEmitsOrderedDenseWellFormedRequests) {
+  const Experiment exp(TestSetup());
+  auto stream = MakeStressStream(exp.Categories(), GetParam(), /*duration=*/20.0,
+                                 /*trace_seed=*/42);
+  ASSERT_NE(stream, nullptr);
+  const std::vector<Request> reqs = Materialize(*stream);
+  ASSERT_FALSE(reqs.empty());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const Request& req = reqs[i];
+    EXPECT_EQ(req.id, static_cast<RequestId>(i));
+    if (i > 0) {
+      EXPECT_GE(req.arrival, reqs[i - 1].arrival);
+    }
+    EXPECT_GE(req.arrival, 0.0);
+    EXPECT_GE(req.category, 0);
+    EXPECT_LT(req.category, kNumCategories);
+    EXPECT_GE(req.prompt_len, 1);
+    EXPECT_GE(req.target_output_len, 2);
+    EXPECT_GT(req.tpot_slo, 0.0);
+    EXPECT_EQ(req.stream_seed,
+              HashCombine(Mix64(0xadaceedeULL), static_cast<uint64_t>(req.id)));
+  }
+}
+
+// Conservation under overload: every request the engine pulls from a
+// stress stream is eventually served — evictions and pauses requeue, they
+// never drop — so finished == arrivals when the run drains.
+TEST_P(StressScenarioProperties, EngineConservesEveryArrival) {
+  const Experiment exp(TestSetup());
+  // Count arrivals with a twin stream; the engine consumes its own.
+  const size_t total =
+      Materialize(*MakeStressStream(exp.Categories(), GetParam(), 20.0, 42)).size();
+  auto stream = MakeStressStream(exp.Categories(), GetParam(), 20.0, 42);
+  auto scheduler = MakeScheduler(SystemKind::kAdaServe);
+  const EngineResult result = exp.Run(*scheduler, *stream);
+  EXPECT_EQ(static_cast<size_t>(result.metrics.finished), total);
+  EXPECT_EQ(result.requests.size(), total);
+  for (const Request& req : result.requests) {
+    EXPECT_EQ(req.state, RequestState::kFinished);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, StressScenarioProperties,
+                         ::testing::ValuesIn(AllStressScenarios()),
+                         [](const ::testing::TestParamInfo<StressScenario>& info) {
+                           return StressScenarioSlug(info.param);
+                         });
+
+// A bigger flash crowd can only prolong the post-overload SLO backlog:
+// recovery time to SLO is nondecreasing in the overload magnitude for a
+// fixed seed and window.
+TEST(FlashCrowdProperties, RecoveryTimeMonotoneInOverloadMagnitude) {
+  const Experiment exp(TestSetup());
+  const double kMagnitudes[] = {4.0, 12.0, 30.0};
+  double prev_recovery = -1.0;
+  for (const double magnitude : kMagnitudes) {
+    FlashCrowdSpec spec = DefaultFlashCrowd(/*duration=*/20.0, /*trace_seed=*/42);
+    spec.magnitude = magnitude;
+    auto stream = MakeFlashCrowdStream(exp.Categories(), spec);
+    auto scheduler = MakeScheduler(SystemKind::kAdaServe);
+    const EngineResult result = exp.Run(*scheduler, *stream);
+    const double recovery = RecoveryTimeToSlo(result.requests, spec);
+    EXPECT_GE(recovery, 0.0);
+    EXPECT_GE(recovery, prev_recovery)
+        << "magnitude " << magnitude << " recovered faster than a smaller crowd";
+    prev_recovery = recovery;
+  }
+  // The largest crowd actually overwhelms the system: a zero recovery
+  // across the board would make the monotonicity check vacuous.
+  EXPECT_GT(prev_recovery, 0.0);
+}
+
 }  // namespace
 }  // namespace adaserve

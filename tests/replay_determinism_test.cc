@@ -1,0 +1,196 @@
+// Record/replay determinism suite: for every MainComparisonSet system the
+// recorded artifact of a run must re-execute byte-identically
+// (GoldenMetricsText) in tick-native mode, under the async tick pipeline,
+// and for every replica of a 2-replica cluster run; artifact
+// serialization round-trips exactly; and an injected single-bit
+// corruption is detected with the correct first-divergent-tick.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/harness/replay.h"
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+class ReplayDeterminismTest : public testing::TestWithParam<SystemKind> {
+ protected:
+  static void SetUpTestSuite() { exp_ = new Experiment(GoldenSetup()); }
+  static void TearDownTestSuite() {
+    delete exp_;
+    exp_ = nullptr;
+  }
+  static Experiment* exp_;
+};
+
+Experiment* ReplayDeterminismTest::exp_ = nullptr;
+
+// Recording is purely observational and replay re-executes byte-
+// identically: the artifact's fingerprint equals the sink-free run's
+// metrics, and ReplayRun reproduces it tick for tick.
+TEST_P(ReplayDeterminismTest, TickNativeRecordReplayByteIdentical) {
+  const SystemKind kind = GetParam();
+  const RecordedRun run = RecordGoldenRun(*exp_, kind);
+  ASSERT_GT(run.result.metrics.finished, 0);
+  ASSERT_FALSE(run.artifact.ticks.empty());
+
+  // Observer purity: a run with a recorder attached matches one without.
+  const EngineResult bare = RunGoldenSystem(*exp_, kind);
+  EXPECT_EQ(run.artifact.metrics_text, GoldenMetricsText(kind, bare.metrics));
+
+  const ReplayOutcome outcome = ReplayRun(run.artifact);
+  ASSERT_TRUE(outcome.ok) << outcome.divergence->Summary();
+  EXPECT_EQ(outcome.metrics_text, run.artifact.metrics_text);
+}
+
+// The streaming path (lazy stream, bounded horizon, finished-request
+// retirement) records and replays identically too.
+TEST_P(ReplayDeterminismTest, StreamingRecordReplayByteIdentical) {
+  const SystemKind kind = GetParam();
+  const RecordedRun run =
+      RecordGoldenRun(*exp_, kind, {}, GoldenScenario::kFlashCrowd, GoldenMode::kTickNative);
+  ASSERT_GT(run.result.metrics.finished, 0);
+  const ReplayOutcome outcome = ReplayRun(run.artifact);
+  ASSERT_TRUE(outcome.ok) << outcome.divergence->Summary();
+  EXPECT_EQ(outcome.metrics_text, run.artifact.metrics_text);
+}
+
+TEST_P(ReplayDeterminismTest, AsyncPipelineRecordReplayByteIdentical) {
+  const SystemKind kind = GetParam();
+  EngineConfig engine = AsyncTickConfig();
+  engine.sampling_seed = GoldenConfig{}.sampling_seed;
+  const RecordedRun run =
+      RecordRun(*exp_, kind, GoldenWorkload(*exp_), engine, "golden", "async");
+  ASSERT_GT(run.result.metrics.finished, 0);
+  // The async planner actually planned (and its verdicts were traced).
+  ASSERT_GT(run.result.planned_ticks, 0);
+  bool traced_verdict = false;
+  for (const TickTraceEvent& tick : run.artifact.ticks) {
+    if (tick.plan_hit >= 0) {
+      traced_verdict = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(traced_verdict);
+
+  const ReplayOutcome outcome = ReplayRun(run.artifact);
+  ASSERT_TRUE(outcome.ok) << outcome.divergence->Summary();
+  EXPECT_EQ(outcome.metrics_text, run.artifact.metrics_text);
+}
+
+TEST_P(ReplayDeterminismTest, ClusterReplicaRecordReplayByteIdentical) {
+  const SystemKind kind = GetParam();
+  ClusterConfig config;
+  config.replicas.push_back({GoldenSetup(), EngineConfig{}});
+  config.replicas.push_back({GoldenSetup(), EngineConfig{}});
+  config.router = RouterPolicy::kJoinShortestQueue;
+  MaterializedStream stream(GoldenWorkload(*exp_));
+  const RecordedClusterRun run =
+      RecordClusterRun(config, kind, stream, {"golden", "golden"}, "cluster2");
+  ASSERT_EQ(run.replicas.size(), 2u);
+
+  // Every replica artifact replays standalone, byte-identically.
+  std::vector<Metrics> replayed_parts;
+  for (size_t i = 0; i < run.replicas.size(); ++i) {
+    ASSERT_FALSE(run.replicas[i].arrivals.empty()) << "replica " << i << " got no traffic";
+    const ReplayOutcome outcome = ReplayRun(run.replicas[i]);
+    ASSERT_TRUE(outcome.ok) << "replica " << i << ": " << outcome.divergence->Summary();
+    EXPECT_EQ(outcome.metrics_text, run.replicas[i].metrics_text) << "replica " << i;
+    replayed_parts.push_back(outcome.result.metrics);
+  }
+
+  // And the merged fleet metrics rebuilt from the replays match the
+  // original cluster run's merge.
+  std::vector<Metrics> original_parts;
+  for (const ReplicaRunResult& replica : run.result.replicas) {
+    original_parts.push_back(replica.result.metrics);
+  }
+  EXPECT_EQ(GoldenMetricsText(kind, MergeMetrics(replayed_parts)),
+            GoldenMetricsText(kind, MergeMetrics(original_parts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(MainComparison, ReplayDeterminismTest,
+                         testing::ValuesIn(MainComparisonSet()),
+                         [](const testing::TestParamInfo<SystemKind>& info) {
+                           return GoldenFileSlug(info.param);
+                         });
+
+TEST(ReplayArtifactTest, SerializationRoundTripsExactly) {
+  const Experiment exp(GoldenSetup());
+  const RecordedRun run = RecordGoldenRun(exp, SystemKind::kAdaServe);
+  const std::string text = SerializeReplayArtifact(run.artifact);
+
+  ReplayArtifact parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReplayArtifact(text, &parsed, &error)) << error;
+  EXPECT_EQ(SerializeReplayArtifact(parsed), text);
+  EXPECT_EQ(parsed.arrivals.size(), run.artifact.arrivals.size());
+  EXPECT_EQ(parsed.ticks.size(), run.artifact.ticks.size());
+  EXPECT_EQ(parsed.metrics_text, run.artifact.metrics_text);
+
+  // A parsed artifact replays just like the in-memory one.
+  const ReplayOutcome outcome = ReplayRun(parsed);
+  ASSERT_TRUE(outcome.ok) << outcome.divergence->Summary();
+}
+
+TEST(ReplayArtifactTest, TruncationAndVersionMismatchAreParseErrors) {
+  const Experiment exp(GoldenSetup());
+  const RecordedRun run = RecordGoldenRun(exp, SystemKind::kVllm);
+  const std::string text = SerializeReplayArtifact(run.artifact);
+
+  ReplayArtifact parsed;
+  std::string error;
+  EXPECT_FALSE(ParseReplayArtifact(text.substr(0, text.size() / 2), &parsed, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::string future = text;
+  future.replace(future.find(": 1"), 3, ": 999");
+  EXPECT_FALSE(ParseReplayArtifact(future, &parsed, &error));
+  EXPECT_NE(error.find("unsupported replay schema"), std::string::npos) << error;
+}
+
+// A single flipped bit in a recorded tick is caught, and the divergence
+// report names exactly that tick and field — the debugging contract: the
+// first divergent tick is where to look.
+TEST(ReplayCorruptionTest, SingleBitFlipDetectedAtExactTick) {
+  const Experiment exp(GoldenSetup());
+  const RecordedRun run = RecordGoldenRun(exp, SystemKind::kAdaServe);
+  ASSERT_GT(run.artifact.ticks.size(), 4u);
+  const size_t victim = run.artifact.ticks.size() / 2;
+
+  ReplayArtifact corrupted = run.artifact;
+  corrupted.ticks[victim].record.committed_tokens ^= 1;
+
+  // Serialize + reparse so the corruption flows the full artifact path.
+  ReplayArtifact reloaded;
+  std::string error;
+  ASSERT_TRUE(ParseReplayArtifact(SerializeReplayArtifact(corrupted), &reloaded, &error)) << error;
+
+  const ReplayOutcome outcome = ReplayRun(reloaded);
+  ASSERT_FALSE(outcome.ok);
+  ASSERT_TRUE(outcome.divergence.has_value());
+  EXPECT_EQ(outcome.divergence->tick, static_cast<long>(victim));
+  EXPECT_EQ(outcome.divergence->field, "record.committed_tokens");
+  EXPECT_FALSE(outcome.divergence->Summary().empty());
+}
+
+// Corrupting an arrival cannot silently pass either: the replay serves
+// the corrupted workload and the metrics fingerprint catches it.
+TEST(ReplayCorruptionTest, CorruptedArrivalDiverges) {
+  const Experiment exp(GoldenSetup());
+  const RecordedRun run = RecordGoldenRun(exp, SystemKind::kVllm);
+  ASSERT_FALSE(run.artifact.arrivals.empty());
+
+  ReplayArtifact corrupted = run.artifact;
+  corrupted.arrivals[corrupted.arrivals.size() / 2].target_output_len += 1;
+
+  const ReplayOutcome outcome = ReplayRun(corrupted);
+  ASSERT_FALSE(outcome.ok);
+  ASSERT_TRUE(outcome.divergence.has_value());
+}
+
+}  // namespace
+}  // namespace adaserve
