@@ -62,8 +62,9 @@ int Run(const BenchArgs& args) {
       std::vector<std::string> row = {system, std::to_string(m.finished),
                                       FmtPct(m.AttainmentPct()), Fmt(m.GoodputTps(), 1)};
       if (flash) {
-        const double recovery =
-            RecoveryTimeToSlo(cell.result.requests, DefaultFlashCrowd(duration, kScenarioSeed));
+        const double recovery = RecoveryTimeToSlo(
+            cell.result.requests, DefaultFlashCrowd(duration, kScenarioSeed),
+            cell.result.end_time);
         json.Add(slug, system, "recovery_s", 0.0, recovery);
         row.push_back(Fmt(recovery, 2));
       }

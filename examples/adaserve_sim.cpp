@@ -34,7 +34,8 @@ struct Options {
 void PrintUsage() {
   std::cout <<
       "Usage: adaserve_sim [options]\n"
-      "  --system=NAME       adaserve|vllm|sarathi|spec4|spec6|spec8|priority|fastserve|vtc\n"
+      "  --system=NAME       adaserve|vllm|sarathi|spec4|spec6|spec8|priority|fastserve|vtc|"
+      "edf|edf_ac\n"
       "  --model=NAME        llama (70B, 4xA100) | qwen (32B, 2xA100)\n"
       "  --rps=R             mean request rate (default 4.0)\n"
       "  --duration=S        trace duration in seconds (default 30)\n"
@@ -87,7 +88,8 @@ const std::map<std::string, SystemKind>& SystemsByName() {
       {"sarathi", SystemKind::kSarathi},     {"spec4", SystemKind::kVllmSpec4},
       {"spec6", SystemKind::kVllmSpec6},     {"spec8", SystemKind::kVllmSpec8},
       {"priority", SystemKind::kVllmPriority}, {"fastserve", SystemKind::kFastServe},
-      {"vtc", SystemKind::kVtc},
+      {"vtc", SystemKind::kVtc},               {"edf", SystemKind::kEdf},
+      {"edf_ac", SystemKind::kEdfAdmission},
   };
   return *kMap;
 }

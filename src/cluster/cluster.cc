@@ -9,18 +9,6 @@
 namespace adaserve {
 namespace {
 
-// Decode-throughput proxy of one replica: tokens per second of a
-// budget-sized verification batch under the profiling assumptions the
-// budget derivation itself uses (BudgetConfig typical batch/context).
-double DeriveServiceTps(const LatencyModel& target) {
-  const BudgetConfig profile;
-  const int budget = DeriveTokenBudget(target);
-  const SimTime iteration = target.ForwardLatency(
-      budget, static_cast<long>(profile.typical_batch) * profile.typical_context,
-      /*use_cuda_graph=*/true);
-  return iteration > 0.0 ? static_cast<double>(budget) / iteration : 1.0;
-}
-
 // Spec-decode strength: how many draft tokens fit in one target decode
 // interval, discounted by draft fidelity — a faster or better-placed
 // draft (own GPU, H100) and a higher-fidelity one both raise it.

@@ -1,5 +1,7 @@
 #include "src/harness/comparisons.h"
 
+#include "src/baselines/admission_control.h"
+#include "src/baselines/edf.h"
 #include "src/baselines/fastserve.h"
 #include "src/baselines/priority.h"
 #include "src/baselines/sarathi.h"
@@ -32,6 +34,10 @@ std::unique_ptr<Scheduler> MakeScheduler(SystemKind kind) {
       return std::make_unique<FastServeScheduler>();
     case SystemKind::kVtc:
       return std::make_unique<VtcScheduler>();
+    case SystemKind::kEdf:
+      return std::make_unique<EdfScheduler>();
+    case SystemKind::kEdfAdmission:
+      return std::make_unique<AdmissionControlScheduler>();
   }
   ADASERVE_CHECK(false) << "unknown system kind";
   return nullptr;
@@ -57,6 +63,10 @@ std::string_view SystemName(SystemKind kind) {
       return "FastServe";
     case SystemKind::kVtc:
       return "VTC";
+    case SystemKind::kEdf:
+      return "EDF";
+    case SystemKind::kEdfAdmission:
+      return "EDF+AC";
   }
   return "?";
 }
@@ -65,7 +75,8 @@ std::optional<SystemKind> SystemKindFromName(std::string_view name) {
   for (SystemKind kind :
        {SystemKind::kAdaServe, SystemKind::kVllm, SystemKind::kSarathi, SystemKind::kVllmSpec4,
         SystemKind::kVllmSpec6, SystemKind::kVllmSpec8, SystemKind::kVllmPriority,
-        SystemKind::kFastServe, SystemKind::kVtc}) {
+        SystemKind::kFastServe, SystemKind::kVtc, SystemKind::kEdf,
+        SystemKind::kEdfAdmission}) {
     if (SystemName(kind) == name) {
       return kind;
     }
@@ -74,8 +85,9 @@ std::optional<SystemKind> SystemKindFromName(std::string_view name) {
 }
 
 std::vector<SystemKind> MainComparisonSet() {
-  return {SystemKind::kAdaServe,   SystemKind::kSarathi,   SystemKind::kVllm,
-          SystemKind::kVllmSpec4,  SystemKind::kVllmSpec6, SystemKind::kVllmSpec8};
+  return {SystemKind::kAdaServe,  SystemKind::kSarathi,   SystemKind::kVllm,
+          SystemKind::kVllmSpec4, SystemKind::kVllmSpec6, SystemKind::kVllmSpec8,
+          SystemKind::kEdf,       SystemKind::kEdfAdmission};
 }
 
 std::vector<SystemKind> MotivationSet() {

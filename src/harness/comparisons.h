@@ -23,6 +23,8 @@ enum class SystemKind {
   kVllmPriority,
   kFastServe,
   kVtc,
+  kEdf,
+  kEdfAdmission,
 };
 
 std::unique_ptr<Scheduler> MakeScheduler(SystemKind kind);
@@ -33,7 +35,9 @@ std::string_view SystemName(SystemKind kind);
 std::optional<SystemKind> SystemKindFromName(std::string_view name);
 
 // Systems of the end-to-end comparison (Figs. 8-12, 14):
-// AdaServe, Sarathi-Serve, vLLM, vLLM-Spec(4/6/8).
+// AdaServe, Sarathi-Serve, vLLM, vLLM-Spec(4/6/8), plus the
+// deadline-theoretic baselines EDF and EDF+AC (utilization-bound
+// admission control).
 std::vector<SystemKind> MainComparisonSet();
 
 // Systems of the motivation study (Fig. 1): vLLM, vLLM+chunked-prefill

@@ -1,5 +1,6 @@
 #include "src/harness/replay.h"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,12 +11,18 @@
 namespace adaserve {
 namespace {
 
-// %.17g: shortest text that round-trips an IEEE double exactly, so
-// Serialize(Parse(x)) == x and replay diffs compare true values.
+// %.17g semantics via std::to_chars: text that round-trips an IEEE double
+// exactly, so Serialize(Parse(x)) == x and replay diffs compare true
+// values. to_chars is locale-independent by definition (snprintf's %g
+// honors the global locale's decimal point and would corrupt artifacts
+// written under e.g. de_DE); its output is specified to match printf
+// "%.17g" in the C locale, so pre-existing artifacts compare byte-equal.
 std::string FmtDouble(double v) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  ADASERVE_CHECK(ec == std::errc()) << "double format failed";
+  return std::string(buf, ptr);
 }
 
 struct LineReader {
@@ -60,34 +67,26 @@ bool ReadKeyed(LineReader& in, const std::string& key, std::string* value, std::
   return true;
 }
 
+// std::from_chars throughout: locale-independent (std::stol/stod honor
+// the global C locale — under de_DE "0.5" stops parsing at the period and
+// the %.17g round trip breaks), non-throwing, and whole-string-strict via
+// the end-pointer check.
 bool ParseLong(const std::string& s, long* out) {
-  try {
-    size_t consumed = 0;
-    *out = std::stol(s, &consumed);
-    return consumed == s.size();
-  } catch (...) {
-    return false;
-  }
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
 }
 
 bool ParseU64(const std::string& s, uint64_t* out) {
-  try {
-    size_t consumed = 0;
-    *out = std::stoull(s, &consumed);
-    return consumed == s.size();
-  } catch (...) {
-    return false;
-  }
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
 }
 
 bool ParseF64(const std::string& s, double* out) {
-  try {
-    size_t consumed = 0;
-    *out = std::stod(s, &consumed);
-    return consumed == s.size();
-  } catch (...) {
-    return false;
-  }
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
 }
 
 bool ReadKeyedLong(LineReader& in, const std::string& key, long* out, std::string* error) {
@@ -212,8 +211,8 @@ std::string SerializeReplayArtifact(const ReplayArtifact& artifact) {
        << FmtDouble(r.spec_time) << " " << FmtDouble(r.select_time) << " "
        << FmtDouble(r.verify_time) << " " << FmtDouble(r.prefill_time) << " " << r.prefill_tokens
        << " " << r.decode_requests << " " << r.verified_tokens << " " << r.committed_tokens << " "
-       << r.admitted << " " << r.evicted << " " << r.paused << " " << t.arrivals_pulled << " "
-       << t.plan_hit << "\n";
+       << r.admitted << " " << r.evicted << " " << r.paused << " " << r.rejected << " "
+       << r.degraded << " " << t.arrivals_pulled << " " << t.plan_hit << "\n";
   }
 
   // The metrics block is recorded verbatim (line count + raw lines), so
@@ -281,7 +280,7 @@ bool ParseReplayArtifact(const std::string& text, ReplayArtifact* artifact, std:
   if (!ReadKeyedInt(in, "tick.prefill_burst", &e.tick.prefill_burst, error)) return false;
   if (!ReadKeyedInt(in, "tick.max_evictions", &e.tick.max_evictions, error)) return false;
   if (!ReadKeyedInt(in, "tick.priority", &priority, error)) return false;
-  if (priority < -1 || priority > static_cast<int>(PriorityPolicy::kSloUrgentPause)) {
+  if (priority < -1 || priority > static_cast<int>(PriorityPolicy::kEdf)) {
     SetError(error, in.line_no, "bad tick.priority " + std::to_string(priority));
     return false;
   }
@@ -343,22 +342,24 @@ bool ParseReplayArtifact(const std::string& text, ReplayArtifact* artifact, std:
       return false;
     }
     const std::vector<std::string> f = SplitFields(line);
-    if (f.size() != 17 || f[0] != "t") {
+    if (f.size() != 19 || f[0] != "t") {
       SetError(error, in.line_no, "bad tick line '" + line + "'");
       return false;
     }
     TickTraceEvent t;
     IterationRecord& r = t.record;
     long prefill_tokens = 0, decode_requests = 0, verified = 0, committed = 0;
-    long admitted = 0, evicted = 0, paused = 0, pulled = 0, plan_hit = 0;
+    long admitted = 0, evicted = 0, paused = 0, rejected = 0, degraded = 0;
+    long pulled = 0, plan_hit = 0;
     if (!ParseLong(f[1], &t.index) || !ParseF64(f[2], &t.start) || !ParseF64(f[3], &r.duration) ||
         !ParseF64(f[4], &r.spec_time) || !ParseF64(f[5], &r.select_time) ||
         !ParseF64(f[6], &r.verify_time) || !ParseF64(f[7], &r.prefill_time) ||
         !ParseLong(f[8], &prefill_tokens) || !ParseLong(f[9], &decode_requests) ||
         !ParseLong(f[10], &verified) || !ParseLong(f[11], &committed) ||
         !ParseLong(f[12], &admitted) || !ParseLong(f[13], &evicted) ||
-        !ParseLong(f[14], &paused) || !ParseLong(f[15], &pulled) ||
-        !ParseLong(f[16], &plan_hit)) {
+        !ParseLong(f[14], &paused) || !ParseLong(f[15], &rejected) ||
+        !ParseLong(f[16], &degraded) || !ParseLong(f[17], &pulled) ||
+        !ParseLong(f[18], &plan_hit)) {
       SetError(error, in.line_no, "bad tick field in '" + line + "'");
       return false;
     }
@@ -369,6 +370,8 @@ bool ParseReplayArtifact(const std::string& text, ReplayArtifact* artifact, std:
     r.admitted = static_cast<int>(admitted);
     r.evicted = static_cast<int>(evicted);
     r.paused = static_cast<int>(paused);
+    r.rejected = static_cast<int>(rejected);
+    r.degraded = static_cast<int>(degraded);
     t.arrivals_pulled = static_cast<int>(pulled);
     t.plan_hit = static_cast<int>(plan_hit);
     out.ticks.push_back(t);
@@ -578,6 +581,8 @@ std::optional<ReplayDivergence> DiffTick(const TickTraceEvent& want, const TickT
   if (auto d = check_long("record.admitted", w.admitted, g.admitted)) return d;
   if (auto d = check_long("record.evicted", w.evicted, g.evicted)) return d;
   if (auto d = check_long("record.paused", w.paused, g.paused)) return d;
+  if (auto d = check_long("record.rejected", w.rejected, g.rejected)) return d;
+  if (auto d = check_long("record.degraded", w.degraded, g.degraded)) return d;
   if (auto d = check_long("arrivals_pulled", want.arrivals_pulled, got.arrivals_pulled)) return d;
   if (auto d = check_long("plan_hit", want.plan_hit, got.plan_hit)) return d;
   return std::nullopt;

@@ -18,7 +18,7 @@
 // binary (or the artifact) has drifted.
 //
 // Artifact format: versioned line-oriented text ("adaserve_replay_schema:
-// 1" header; key: value configuration; one "a ..." line per arrival and
+// N" header; key: value configuration; one "a ..." line per arrival and
 // one "t ..." line per tick with %.17g doubles so round trips are exact;
 // the metrics block; an "end" sentinel). The schema version bumps on any
 // field change — parsers reject unknown versions rather than guess.
@@ -36,7 +36,8 @@
 namespace adaserve {
 
 // Bumped on any artifact field change; parsers reject other versions.
-inline constexpr int kReplaySchemaVersion = 1;
+// v2: tick lines carry the admission-control rejected/degraded counters.
+inline constexpr int kReplaySchemaVersion = 2;
 
 // A recorded run, self-contained up to the setup registry: everything
 // needed to re-execute and everything needed to check the re-execution.

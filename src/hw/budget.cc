@@ -50,4 +50,12 @@ int DeriveDraftBudget(const LatencyModel& verifier, const LatencyModel& draft, d
   return std::clamp(lo, config.min_budget, config.max_budget);
 }
 
+double DeriveServiceTps(const LatencyModel& target, const BudgetConfig& config) {
+  const int budget = DeriveTokenBudget(target, config);
+  const SimTime iteration = target.ForwardLatency(
+      budget, static_cast<long>(config.typical_batch) * config.typical_context,
+      /*use_cuda_graph=*/true);
+  return iteration > 0.0 ? static_cast<double>(budget) / iteration : 1.0;
+}
+
 }  // namespace adaserve

@@ -33,6 +33,14 @@ int DeriveTokenBudget(const LatencyModel& verifier, const BudgetConfig& config =
 int DeriveDraftBudget(const LatencyModel& verifier, const LatencyModel& draft, double fraction = 0.25,
                       const BudgetConfig& config = {});
 
+// Decode-throughput proxy of one replica: tokens per second of a
+// budget-sized verification batch under the profiling assumptions the
+// budget derivation itself uses (BudgetConfig typical batch/context).
+// Shared by the cluster router's service-rate seeding and the
+// utilization-bound admission controller — both must score capacity
+// identically.
+double DeriveServiceTps(const LatencyModel& target, const BudgetConfig& config = {});
+
 }  // namespace adaserve
 
 #endif  // ADASERVE_SRC_HW_BUDGET_H_

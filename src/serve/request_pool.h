@@ -125,6 +125,12 @@ class RequestPool {
   // admission queue and resumes without re-prefilling.
   void Preempt(RequestId id);
 
+  // Admission-control rejection: removes a *queued* request from the
+  // admission queue and marks it kRejected (terminal, finish_time = now,
+  // no KV, no service). Rejected requests retire like finished ones but
+  // are excluded from attainment/throughput accounting.
+  void Reject(RequestId id, SimTime now);
+
   // Targeted admission: admits the specific queued request `id` (wherever
   // it sits in the queue) if its worst-case footprint fits — no slot
   // check; callers guarantee a free slot. The async tick planner applies

@@ -117,9 +117,21 @@ IterationRecord RunDecodeIteration(SimTime now, RequestPool& pool, ServingContex
   return record;
 }
 
+SimTime NextTokenDeadline(const Request& req) {
+  if (req.first_token_time >= 0.0) {
+    return req.first_token_time + req.committed_len * req.tpot_slo;
+  }
+  return req.arrival + req.tpot_slo;
+}
+
 RequestPool::AdmissionRanker PriorityRanker(PriorityPolicy policy) {
   if (policy == PriorityPolicy::kFifo) {
     return nullptr;  // The pool's null-ranker path is exact arrival order.
+  }
+  if (policy == PriorityPolicy::kEdf) {
+    return [](const Request& a, const Request& b) {
+      return NextTokenDeadline(a) < NextTokenDeadline(b);
+    };
   }
   return [](const Request& a, const Request& b) { return a.tpot_slo < b.tpot_slo; };
 }
@@ -132,6 +144,32 @@ EvictionStyle PriorityEvictionStyle(PriorityPolicy policy) {
 RequestPool::VictimSelector PriorityVictimSelector(PriorityPolicy policy) {
   if (policy == PriorityPolicy::kFifo) {
     return nullptr;  // Pool default: newest-admitted zero-output request.
+  }
+  if (policy == PriorityPolicy::kEdf) {
+    // The EDF analogue of the SLO-aware selector: the head may only
+    // displace a prefilling zero-output request whose next-token deadline
+    // is strictly *later* than its own; latest-deadline victims first,
+    // the newest among equals (least prefill progress to redo).
+    return [](const Request& head, const RequestPool& pool) {
+      const SimTime head_deadline = NextTokenDeadline(head);
+      RequestId victim = kInvalidRequestId;
+      SimTime victim_deadline = 0.0;
+      for (auto it = pool.active().rbegin(); it != pool.active().rend(); ++it) {
+        const Request& req = pool.Get(*it);
+        if (req.state != RequestState::kPrefilling || req.committed_len != 0) {
+          continue;
+        }
+        const SimTime deadline = NextTokenDeadline(req);
+        if (deadline <= head_deadline) {
+          continue;
+        }
+        if (victim == kInvalidRequestId || deadline > victim_deadline) {
+          victim = *it;
+          victim_deadline = deadline;
+        }
+      }
+      return victim;
+    };
   }
   return [](const Request& head, const RequestPool& pool) {
     RequestId victim = kInvalidRequestId;
@@ -211,9 +249,18 @@ IterationRecord RunBudgetedPrefillPhase(SimTime now, RequestPool& pool, ServingC
   if (budget <= 0) {
     return record;
   }
-  const std::vector<RequestId> prefilling = PrefillingRequests(pool);
+  std::vector<RequestId> prefilling = PrefillingRequests(pool);
   if (prefilling.empty()) {
     return record;
+  }
+  if (ctx.tick.priority() == PriorityPolicy::kEdf) {
+    // EDF spends its prefill budget tightest-deadline-first instead of in
+    // admission order; ids break deadline ties (ids are arrival order).
+    std::sort(prefilling.begin(), prefilling.end(), [&pool](RequestId a, RequestId b) {
+      const SimTime da = NextTokenDeadline(pool.Get(a));
+      const SimTime db = NextTokenDeadline(pool.Get(b));
+      return da != db ? da < db : a < b;
+    });
   }
   const int per_request_cap = burst > 0 ? burst : std::numeric_limits<int>::max();
   struct Chunk {

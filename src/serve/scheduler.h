@@ -56,6 +56,12 @@ enum class PriorityPolicy {
   kFifo,
   kSloUrgentFirst,
   kSloUrgentPause,
+  // Earliest-deadline-first: ranks by each request's *next token deadline*
+  // (NextTokenDeadline) instead of the static SLO category, so a relaxed
+  // request that has fallen behind can outrank a fresh urgent one — the
+  // classic real-time answer to the same problem the SLO-aware policies
+  // attack with category heuristics.
+  kEdf,
 };
 
 // The unified tick policy: every tick-shaped serving knob in one struct,
@@ -162,6 +168,8 @@ struct IterationRecord {
   int admitted = 0;          // requests admitted during this tick
   int evicted = 0;           // requests evicted (recompute-style) this tick
   int paused = 0;            // requests paused (progress-preserving) this tick
+  int rejected = 0;          // requests rejected by admission control this tick
+  int degraded = 0;          // requests SLO-degraded by admission control this tick
 };
 
 // Result of one scheduler tick.
@@ -210,6 +218,14 @@ class Scheduler {
 };
 
 // --- shared building blocks used by multiple schedulers ---
+
+// The deadline by which a request's next output token must commit to keep
+// its TPOT SLO: first_token_time + committed_len * tpot_slo once decoding
+// has started, arrival + tpot_slo before the first token exists (the first
+// token's deadline proxy — TTFT is not the gated metric, but a request
+// that has not even produced token one is at least this urgent). This is
+// the key every kEdf ranking, victim selection, and ordering decision uses.
+SimTime NextTokenDeadline(const Request& req);
 
 // Runs a vLLM-style prefill-priority iteration if any admitted request still
 // needs prefill: full prompts are batched up to `max_prefill_tokens` and

@@ -20,6 +20,8 @@ PlanCandidate MakeCandidate(const Request& req, long kv_held) {
   cand.prefill_progress = req.prefill_progress;
   cand.committed_len = req.committed_len;
   cand.kv_held = kv_held;
+  cand.arrival = req.arrival;
+  cand.first_token_time = req.first_token_time;
   return cand;
 }
 
@@ -83,12 +85,20 @@ TickPlan ComputePlan(const TickPlanInput& input) {
   long kv_free = input.kv_free;
   int active = input.active_count;
   const bool fifo = input.priority == PriorityPolicy::kFifo;
+  const bool edf = input.priority == PriorityPolicy::kEdf;
   while (!queued.empty() && active < input.max_active) {
-    // Stable min under the SLO ranker: only a strictly tighter SLO
-    // displaces the head, so ties keep queue order — same scan as
-    // RequestPool::RankedHead under PriorityRanker.
+    // Stable min under the policy's ranker: only a strictly tighter key
+    // (SLO, or next-token deadline under kEdf) displaces the head, so
+    // ties keep queue order — same scan as RequestPool::RankedHead under
+    // PriorityRanker.
     size_t head = 0;
-    if (!fifo) {
+    if (edf) {
+      for (size_t i = 1; i < queued.size(); ++i) {
+        if (CandidateDeadline(queued[i]) < CandidateDeadline(queued[head])) {
+          head = i;
+        }
+      }
+    } else if (!fifo) {
       for (size_t i = 1; i < queued.size(); ++i) {
         if (queued[i].tpot_slo < queued[head].tpot_slo) {
           head = i;
@@ -115,6 +125,16 @@ TickPlan ComputePlan(const TickPlanInput& input) {
     }
   }
   // --- budgeted prefill chunking (mirrors RunBudgetedPrefillPhase) ---
+  if (edf) {
+    // Mirror the kEdf prefill ordering: tightest deadline first, ids
+    // (arrival order) break ties.
+    std::sort(prefill_order.begin(), prefill_order.end(),
+              [](const PlanCandidate& a, const PlanCandidate& b) {
+                const SimTime da = CandidateDeadline(a);
+                const SimTime db = CandidateDeadline(b);
+                return da != db ? da < db : a.id < b.id;
+              });
+  }
   const int cap = input.burst > 0 ? input.burst : std::numeric_limits<int>::max();
   for (const PlanCandidate& cand : prefill_order) {
     if (plan.batch_tokens >= input.budget) {

@@ -42,9 +42,21 @@ struct PlanCandidate {
   // KV already reserved by this request (preempted requests re-admit by
   // growing an existing reservation; Reserve charges only the delta).
   long kv_held = 0;
+  // Deadline inputs (NextTokenDeadline) for the kEdf ranking.
+  double arrival = 0.0;
+  double first_token_time = -1.0;
 
   bool operator==(const PlanCandidate&) const = default;
 };
+
+// NextTokenDeadline computed from a candidate's snapshot fields — must
+// stay decision-identical to the Request-based helper.
+inline SimTime CandidateDeadline(const PlanCandidate& cand) {
+  if (cand.first_token_time >= 0.0) {
+    return cand.first_token_time + cand.committed_len * cand.tpot_slo;
+  }
+  return cand.arrival + cand.tpot_slo;
+}
 
 // Everything the mid-tick admission + prefill phases read, as one value.
 // PredictPlanInput builds the phase-A-start *forecast* of this;

@@ -21,6 +21,10 @@ enum class RequestState {
   kPaused,
   // All output tokens committed.
   kFinished,
+  // Refused by an admission controller before any service (no KV, no
+  // tokens). Terminal like kFinished, but excluded from attainment /
+  // throughput accounting; Metrics counts it under `rejections`.
+  kRejected,
 };
 
 struct Request {

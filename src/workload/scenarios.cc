@@ -137,10 +137,16 @@ std::unique_ptr<ArrivalStream> MakeFlashCrowdStream(const std::vector<CategorySp
                                           spec.sampling_seed, spec.max_requests);
 }
 
-double RecoveryTimeToSlo(std::span<const Request> requests, const FlashCrowdSpec& spec) {
+double RecoveryTimeToSlo(std::span<const Request> requests, const FlashCrowdSpec& spec,
+                         SimTime makespan) {
   double latest_violation = -1.0;
   for (const Request& req : requests) {
     if (req.state != RequestState::kFinished) {
+      // Never brought back within SLO — the run ended (or gave up on the
+      // request) with it still outstanding, so it stays in violation
+      // through the whole run: clamp to the makespan rather than ignore
+      // it, which would score an abandoning scheduler as "recovered".
+      latest_violation = std::max(latest_violation, makespan);
       continue;
     }
     if (!req.Attained()) {

@@ -78,13 +78,18 @@ std::unique_ptr<ArrivalStream> MakeFlashCrowdStream(const std::vector<CategorySp
 
 // Recovery time to SLO: how long past the end of the overload window the
 // system keeps violating SLOs. Defined as
-//   max(0, latest finish_time of a non-attained finished request
-//             - spec.OverloadEnd())
-// so a system that clears the flash-crowd backlog without further
-// violations scores 0 and slower drains score monotonically worse.
-// `requests` are a run's finished requests (EngineResult::requests with
-// retire_finished off).
-double RecoveryTimeToSlo(std::span<const Request> requests, const FlashCrowdSpec& spec);
+//   max(0, latest violation time - spec.OverloadEnd())
+// where a finished non-attained request violates at its finish_time, and
+// an SLO-relevant request that never finished (evicted, still paused or
+// queued at run end) counts as unrecovered at `makespan` — the run never
+// brought it back within SLO, so scoring only finished requests would
+// *reward* a scheduler for abandoning its backlog. A system that clears
+// the flash-crowd backlog without further violations scores 0 and slower
+// drains score monotonically worse. `requests` are a run's requests
+// (EngineResult::requests with retire_finished off) and `makespan` the
+// run's end time (EngineResult::end_time).
+double RecoveryTimeToSlo(std::span<const Request> requests, const FlashCrowdSpec& spec,
+                         SimTime makespan);
 
 // --- adversarial tenant flood ------------------------------------------------
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <climits>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -41,18 +41,17 @@ std::string Trim(const std::string& s) {
   return s.substr(begin, end - begin);
 }
 
+// std::from_chars, not std::stod: stod honors the global C locale, so a
+// host set to a comma-decimal locale (de_DE et al.) would misparse "0.5"
+// as 0 — from_chars always reads the "C"-locale format the writer emits.
 bool ParseDouble(const std::string& cell, double* out) {
   const std::string t = Trim(cell);
   if (t.empty()) {
     return false;
   }
-  size_t consumed = 0;
-  try {
-    *out = std::stod(t, &consumed);
-  } catch (...) {
-    return false;
-  }
-  return consumed == t.size();
+  const char* end = t.data() + t.size();
+  const auto [ptr, ec] = std::from_chars(t.data(), end, *out);
+  return ec == std::errc() && ptr == end;
 }
 
 bool ParseInt(const std::string& cell, int* out) {
@@ -60,14 +59,10 @@ bool ParseInt(const std::string& cell, int* out) {
   if (t.empty()) {
     return false;
   }
-  size_t consumed = 0;
   long value = 0;
-  try {
-    value = std::stol(t, &consumed);
-  } catch (...) {
-    return false;
-  }
-  if (consumed != t.size() || value < INT_MIN || value > INT_MAX) {
+  const char* end = t.data() + t.size();
+  const auto [ptr, ec] = std::from_chars(t.data(), end, value);
+  if (ec != std::errc() || ptr != end || value < INT_MIN || value > INT_MAX) {
     return false;
   }
   *out = static_cast<int>(value);
@@ -221,13 +216,34 @@ Request TraceFileArrivalStream::Next() {
   return BuildRequest(next_++);
 }
 
+namespace {
+
+// Locale-independent %.17g: snprintf writes the global locale's decimal
+// point, which would break the CSV round trip on comma-decimal hosts;
+// to_chars is specified to emit the C-locale format with the same
+// precision semantics, so pre-existing traces stay byte-identical.
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  ADASERVE_CHECK(res.ec == std::errc()) << "to_chars failed";
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
 std::string TraceCsvFromRequests(std::span<const Request> requests) {
   std::string csv = "timestamp,prompt_tokens,output_tokens,category,tpot_slo\n";
-  char buffer[160];
   for (const Request& req : requests) {
-    std::snprintf(buffer, sizeof(buffer), "%.17g,%d,%d,%d,%.17g\n", req.arrival, req.prompt_len,
-                  req.target_output_len, req.category, req.tpot_slo);
-    csv += buffer;
+    AppendDouble(&csv, req.arrival);
+    csv += ',';
+    csv += std::to_string(req.prompt_len);
+    csv += ',';
+    csv += std::to_string(req.target_output_len);
+    csv += ',';
+    csv += std::to_string(req.category);
+    csv += ',';
+    AppendDouble(&csv, req.tpot_slo);
+    csv += '\n';
   }
   return csv;
 }

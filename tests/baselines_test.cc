@@ -169,7 +169,7 @@ TEST_F(BaselinesTest, SpecLenNamesDistinct) {
 }
 
 TEST_F(BaselinesTest, ComparisonSetsWellFormed) {
-  EXPECT_EQ(MainComparisonSet().size(), 6u);
+  EXPECT_EQ(MainComparisonSet().size(), 8u);
   EXPECT_EQ(MotivationSet().size(), 5u);
   for (SystemKind kind : MainComparisonSet()) {
     EXPECT_NE(MakeScheduler(kind), nullptr);

@@ -248,5 +248,35 @@ TEST(Cluster, SeedRouterStatesExposeHeterogeneity) {
   EXPECT_GT(states[1].service_tps, states[0].service_tps);
 }
 
+// EDF replicas behind the SLO-aware router: the deadline-theoretic
+// baseline composes with the cluster layer like every other system, and
+// keeps the thread-count byte-identity guarantee.
+TEST(Cluster, EdfReplicasBehindSloAwareRouterAreDeterministic) {
+  const std::vector<Request> workload = TestWorkload();
+  for (SystemKind system : {SystemKind::kEdf, SystemKind::kEdfAdmission}) {
+    const Cluster serial(MakeTestClusterConfig(RouterPolicy::kSloAware, /*threads=*/1));
+    const Cluster parallel(MakeTestClusterConfig(RouterPolicy::kSloAware, /*threads=*/4));
+    MaterializedStream s1(workload);
+    MaterializedStream s4(workload);
+    const ClusterResult r1 = serial.Run(system, s1);
+    const std::string text4 = parallel.Run(system, s4).Text();
+    EXPECT_EQ(r1.Text(), text4) << SystemName(system) << ": threads=1 vs threads=4 diverged";
+    size_t routed = 0;
+    long served = 0;
+    for (const ReplicaRunResult& replica : r1.replicas) {
+      routed += replica.routed;
+      served += replica.result.metrics.finished + replica.result.metrics.rejections;
+    }
+    EXPECT_EQ(routed, workload.size());
+    // Every routed request is accounted for: finished or (EDF+AC only)
+    // rejected by the replica's admission controller.
+    EXPECT_EQ(served, static_cast<long>(workload.size())) << SystemName(system);
+    // Rejections surface in the merged cluster metrics, not just per
+    // replica.
+    EXPECT_EQ(r1.metrics.merged.rejections,
+              r1.metrics.per_replica[0].rejections + r1.metrics.per_replica[1].rejections);
+  }
+}
+
 }  // namespace
 }  // namespace adaserve

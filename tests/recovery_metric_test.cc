@@ -1,0 +1,88 @@
+// Pins RecoveryTimeToSlo's handling of requests that never finish.
+//
+// The metric used to inspect only kFinished requests, so a flash crowd
+// severe enough that its violating backlog *never finishes* (evicted, or
+// still queued/paused at run end) reported full recovery — the worst
+// possible outcome scored as the best. Unfinished SLO-relevant requests
+// now count as unrecovered through the whole run (clamped to the
+// makespan).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/workload/scenarios.h"
+#include "tests/test_util.h"
+
+namespace adaserve {
+namespace {
+
+Request FinishedRequest(RequestId id, bool attained, SimTime finish_time) {
+  Request req;
+  req.id = id;
+  req.category = kCatChat;
+  req.tpot_slo = 0.05;
+  req.prompt_len = 16;
+  req.target_output_len = 2;
+  req.state = RequestState::kFinished;
+  req.first_token_time = finish_time - (attained ? 0.01 : 1.0);
+  req.committed_len = 2;
+  req.finish_time = finish_time;
+  return req;
+}
+
+Request UnfinishedRequest(RequestId id, RequestState state) {
+  Request req;
+  req.id = id;
+  req.category = kCatChat;
+  req.tpot_slo = 0.05;
+  req.prompt_len = 16;
+  req.target_output_len = 2;
+  req.state = state;
+  return req;
+}
+
+TEST(RecoveryTimeToSlo, CleanRunScoresZero) {
+  const FlashCrowdSpec spec = DefaultFlashCrowd(/*duration=*/60.0, /*trace_seed=*/1);
+  const std::vector<Request> requests = {FinishedRequest(0, /*attained=*/true, 10.0),
+                                         FinishedRequest(1, /*attained=*/true, 50.0)};
+  EXPECT_DOUBLE_EQ(RecoveryTimeToSlo(requests, spec, /*makespan=*/60.0), 0.0);
+}
+
+TEST(RecoveryTimeToSlo, LatestFinishedViolationPastOverloadEndScores) {
+  const FlashCrowdSpec spec = DefaultFlashCrowd(60.0, 1);
+  const std::vector<Request> requests = {
+      FinishedRequest(0, true, 10.0),
+      FinishedRequest(1, /*attained=*/false, spec.OverloadEnd() + 7.5)};
+  EXPECT_DOUBLE_EQ(RecoveryTimeToSlo(requests, spec, 60.0), 7.5);
+}
+
+TEST(RecoveryTimeToSlo, ViolationInsideOverloadWindowScoresZero) {
+  const FlashCrowdSpec spec = DefaultFlashCrowd(60.0, 1);
+  const std::vector<Request> requests = {
+      FinishedRequest(0, /*attained=*/false, spec.OverloadEnd() - 2.0)};
+  EXPECT_DOUBLE_EQ(RecoveryTimeToSlo(requests, spec, 60.0), 0.0);
+}
+
+TEST(RecoveryTimeToSlo, UnfinishedBacklogCountsAsUnrecoveredAtMakespan) {
+  // The bug this pins: every finished request recovered early, but one
+  // request never finished at all — the old metric said "recovered at
+  // +0.0"; the run in fact never brought its backlog back within SLO.
+  const FlashCrowdSpec spec = DefaultFlashCrowd(60.0, 1);
+  const double makespan = 58.0;
+  const std::vector<Request> requests = {FinishedRequest(0, true, 10.0),
+                                         UnfinishedRequest(1, RequestState::kQueued)};
+  EXPECT_DOUBLE_EQ(RecoveryTimeToSlo(requests, spec, makespan),
+                   makespan - spec.OverloadEnd());
+}
+
+TEST(RecoveryTimeToSlo, UnfinishedBacklogDominatesEarlierFinishedViolations) {
+  const FlashCrowdSpec spec = DefaultFlashCrowd(60.0, 1);
+  const std::vector<Request> requests = {
+      FinishedRequest(0, /*attained=*/false, spec.OverloadEnd() + 1.0),
+      UnfinishedRequest(1, RequestState::kPaused)};
+  EXPECT_DOUBLE_EQ(RecoveryTimeToSlo(requests, spec, /*makespan=*/40.0),
+                   40.0 - spec.OverloadEnd());
+}
+
+}  // namespace
+}  // namespace adaserve

@@ -147,7 +147,10 @@ TEST(ReplayArtifactTest, TruncationAndVersionMismatchAreParseErrors) {
   EXPECT_FALSE(error.empty());
 
   std::string future = text;
-  future.replace(future.find(": 1"), 3, ": 999");
+  const std::string header =
+      "adaserve_replay_schema: " + std::to_string(kReplaySchemaVersion);
+  ASSERT_EQ(future.find(header), 0u);
+  future.replace(0, header.size(), "adaserve_replay_schema: 999");
   EXPECT_FALSE(ParseReplayArtifact(future, &parsed, &error));
   EXPECT_NE(error.find("unsupported replay schema"), std::string::npos) << error;
 }
